@@ -1,0 +1,248 @@
+package confmask
+
+// This file provides one testing.B benchmark per table and figure of the
+// paper's evaluation (§7), plus micro-benchmarks for the substrates the
+// pipeline is built on.
+//
+// Each figure benchmark regenerates that figure's data. To keep a default
+// `go test -bench=.` run in minutes rather than hours, the per-iteration
+// figure benchmarks run on the small-network catalog (Enterprise,
+// University, Backbone, FatTree04); the full eight-network reproduction —
+// the numbers recorded in EXPERIMENTS.md — is produced by
+// `go run ./cmd/confmask-bench`.
+
+import (
+	"math/rand"
+	"testing"
+
+	"confmask/internal/anonymize"
+	"confmask/internal/config"
+	"confmask/internal/experiments"
+	"confmask/internal/kdegree"
+	"confmask/internal/netgen"
+	"confmask/internal/sim"
+)
+
+func smallRunner() *experiments.Runner {
+	r := experiments.NewRunner(1)
+	r.Nets = netgen.SmallCatalog()
+	return r
+}
+
+func benchErr(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (network inventory) over the full
+// catalog.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(1)
+		_, err := r.Table2()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFigure5 regenerates the route anonymity measurement.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := smallRunner().Figure5()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFigure6 regenerates the topology anonymity measurement.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := smallRunner().Figure6()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFigure7 regenerates the clustering coefficient comparison.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := smallRunner().Figure7()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFigure8 regenerates the exact path preservation comparison
+// against NetHide.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := smallRunner().Figure8()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFigure9 regenerates the specification preservation comparison.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := smallRunner().Figure9()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFigure10 regenerates the strawman comparison (N_r and U_C).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := smallRunner().Figure10()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFigure11 regenerates the k_R → N_r sweep (and Figure 13's U_C
+// readings, which come from the same runs).
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := smallRunner().Figure11()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFigure12 regenerates the k_H → N_r sweep (and Figure 14's U_C
+// readings).
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := smallRunner().Figure12()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFigure15 regenerates the privacy–utility correlation.
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := smallRunner().Figure15()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkFigure16 regenerates the running-time comparison.
+func BenchmarkFigure16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := smallRunner().Figure16()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkTable3 regenerates the injected-line breakdown (University
+// network; the full grid is produced by cmd/confmask-bench).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := smallRunner()
+		_, err := r.Table3()
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkAnonymize measures the end-to-end pipeline per network at the
+// default parameters (the quantity behind Fig. 16's ConfMask bars).
+func BenchmarkAnonymize(b *testing.B) {
+	for _, spec := range netgen.Catalog() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			cfg, err := spec.Build()
+			benchErr(b, err)
+			opts := anonymize.DefaultOptions()
+			opts.Seed = 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, err := anonymize.Run(cfg, opts)
+				benchErr(b, err)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulate measures the control-plane simulator (the Batfish
+// substitute) per network.
+func BenchmarkSimulate(b *testing.B) {
+	for _, spec := range netgen.Catalog() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			cfg, err := spec.Build()
+			benchErr(b, err)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := sim.Simulate(cfg)
+				benchErr(b, err)
+			}
+		})
+	}
+}
+
+// BenchmarkExtractDataPlane measures full host-to-host path extraction.
+func BenchmarkExtractDataPlane(b *testing.B) {
+	cfg, err := netgen.FatTree08()
+	benchErr(b, err)
+	snap, err := sim.Simulate(cfg)
+	benchErr(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.ExtractDataPlane()
+	}
+}
+
+// BenchmarkKDegree measures the Liu–Terzi degree anonymization step alone.
+func BenchmarkKDegree(b *testing.B) {
+	cfg, err := netgen.USCarrier()
+	benchErr(b, err)
+	snap, err := sim.Simulate(cfg)
+	benchErr(b, err)
+	topo := snap.Net.Topology()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := topo.RouterSubgraph()
+		_, err := kdegree.Anonymize(g, 6, rand.New(rand.NewSource(1)))
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkParseRender measures the configuration codec round trip.
+func BenchmarkParseRender(b *testing.B) {
+	cfg, err := netgen.Enterprise()
+	benchErr(b, err)
+	texts := cfg.Render()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := config.ParseNetwork(texts)
+		benchErr(b, err)
+		net.Render()
+	}
+}
+
+// BenchmarkAblationNoRouteAnonymity isolates Algorithm 1 (route
+// equivalence) from Algorithm 2 — the ablation DESIGN.md calls out for the
+// cost split between the two route stages.
+func BenchmarkAblationNoRouteAnonymity(b *testing.B) {
+	cfg, err := netgen.Bics()
+	benchErr(b, err)
+	opts := anonymize.DefaultOptions()
+	opts.Seed = 1
+	opts.SkipRouteAnonymity = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := anonymize.Run(cfg, opts)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkAblationStrawman1 measures the fast-but-leaky baseline on the
+// same network for comparison with BenchmarkAblationNoRouteAnonymity.
+func BenchmarkAblationStrawman1(b *testing.B) {
+	cfg, err := netgen.Bics()
+	benchErr(b, err)
+	opts := anonymize.DefaultOptions()
+	opts.Seed = 1
+	opts.Strategy = anonymize.Strawman1
+	opts.SkipRouteAnonymity = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := anonymize.Run(cfg, opts)
+		benchErr(b, err)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCLIWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "orig")
+	anon := filepath.Join(dir, "anon")
+
+	if err := cmdExample([]string{"-net", "Backbone", "-out", orig}); err != nil {
+		t.Fatalf("example: %v", err)
+	}
+	entries, err := os.ReadDir(orig)
+	if err != nil || len(entries) != 20 { // 11 routers + 9 hosts
+		t.Fatalf("example wrote %d files (%v)", len(entries), err)
+	}
+	if err := cmdInspect([]string{"-in", orig}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := cmdAnonymize([]string{"-in", orig, "-out", anon, "-kr", "4", "-seed", "9"}); err != nil {
+		t.Fatalf("anonymize: %v", err)
+	}
+	if err := cmdVerify([]string{"-orig", orig, "-anon", anon}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := cmdTrace([]string{"-in", anon, "-src", "h1", "-dst", "h9"}); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if err := cmdRoutes([]string{"-in", anon, "-router", "r1"}); err != nil {
+		t.Fatalf("routes: %v", err)
+	}
+}
+
+func TestCLIAnonymizeWithPII(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "orig")
+	anon := filepath.Join(dir, "anon")
+	if err := cmdExample([]string{"-net", "Backbone", "-out", orig}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnonymize([]string{"-in", orig, "-out", anon, "-kr", "4", "-pii", "secret"}); err != nil {
+		t.Fatalf("anonymize with PII: %v", err)
+	}
+	entries, err := os.ReadDir(anon)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no output written: %v", err)
+	}
+	for _, e := range entries {
+		if e.Name() == "r1.cfg" {
+			t.Fatal("PII stage left original hostnames in file names")
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := cmdAnonymize([]string{"-in", "", "-out", ""}); err == nil {
+		t.Fatal("missing dirs accepted")
+	}
+	if err := cmdVerify([]string{"-orig", "", "-anon", ""}); err == nil {
+		t.Fatal("missing dirs accepted")
+	}
+	if err := cmdInspect([]string{"-in", ""}); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	if err := cmdTrace([]string{"-in", "nope"}); err == nil {
+		t.Fatal("missing hosts accepted")
+	}
+	if err := cmdExample([]string{"-net", "unknown", "-out", t.TempDir()}); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+func TestCLIExampleList(t *testing.T) {
+	if err := cmdExample([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}

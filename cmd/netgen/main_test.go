@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"confmask"
+)
+
+// TestEmittedNetworksReloadable writes one evaluation network to disk and
+// reloads it through the public API.
+func TestEmittedNetworksReloadable(t *testing.T) {
+	dir := t.TempDir()
+	configs, err := confmask.GenerateExample("Backbone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "Backbone")
+	if err := confmask.WriteConfigDir(out, configs); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(configs) {
+		t.Fatalf("wrote %d files, want %d", len(entries), len(configs))
+	}
+	loaded, err := confmask.ReadConfigDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := confmask.Inspect(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Routers != 11 || info.Hosts != 9 {
+		t.Fatalf("reloaded network wrong: %+v", info)
+	}
+}

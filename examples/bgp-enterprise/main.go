@@ -1,0 +1,96 @@
+// BGP enterprise sharing: anonymizing a multi-AS network.
+//
+// BGP networks need two-level topology anonymization (§4.2 of the paper):
+// the router graph inside each AS is k-anonymized independently, then the
+// AS-level supergraph is anonymized by adding eBGP links between randomly
+// chosen border routers. Route equivalence must then hold across eBGP,
+// iBGP, and the intra-AS IGP simultaneously.
+//
+// This example anonymizes the built-in University network (three ASes,
+// BGP+OSPF), shows that inter-AS paths survive exactly, that fake eBGP
+// sessions appear in the shared configs, and finishes with the PII add-on
+// stage (prefix-preserving IP anonymization + hostname substitution).
+//
+// Run with: go run ./examples/bgp-enterprise
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"confmask"
+)
+
+func main() {
+	configs, err := confmask.GenerateExample("University")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := confmask.DefaultOptions()
+	opts.KR = 6
+	opts.KH = 2
+	opts.Seed = 99
+	anon, report, err := confmask.Anonymize(configs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := confmask.Verify(configs, anon); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("anonymized %d-device BGP+OSPF network, equivalence verified\n", len(configs))
+	fmt.Printf("fake links: %s\n", strings.Join(report.FakeLinks, ", "))
+
+	// Inter-AS forwarding is preserved exactly: h1 sits in the core AS,
+	// h5 in a department AS.
+	for _, pair := range [][2]string{{"h1", "h5"}, {"h5", "h1"}, {"h3", "h6"}} {
+		orig, _, err := confmask.Trace(configs, pair[0], pair[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		anonP, _, err := confmask.Trace(anon, pair[0], pair[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.Join(orig[0], ",") != strings.Join(anonP[0], ",") {
+			log.Fatalf("%s→%s path changed", pair[0], pair[1])
+		}
+		fmt.Printf("%s→%s preserved: %s\n", pair[0], pair[1], strings.Join(orig[0], " → "))
+	}
+
+	// Count the eBGP sessions visible in the shared configs: the fake
+	// inter-AS links add plausible sessions an adversary cannot tell
+	// apart from real ones.
+	count := func(cfgs map[string]string) int {
+		n := 0
+		for _, text := range cfgs {
+			n += strings.Count(text, "remote-as")
+		}
+		return n
+	}
+	fmt.Printf("BGP neighbor statements: %d before → %d after\n", count(configs), count(anon))
+
+	// PII add-on: prefix-preserving addresses, substituted hostnames.
+	shared, names, err := confmask.ApplyPII(anon, []byte("org-secret-key"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var renames []string
+	for old, nn := range names {
+		if strings.HasPrefix(old, "r1") {
+			renames = append(renames, old+"→"+nn)
+		}
+	}
+	sort.Strings(renames)
+	fmt.Printf("PII stage renamed %d devices (e.g. %s)\n", len(names), strings.Join(renames[:2], ", "))
+
+	// The fully shared bundle still simulates and still hides structure.
+	info, err := confmask.Inspect(shared)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shareable bundle: %d routers, %d hosts, %d links, protocols=%s, k_d=%d\n",
+		info.Routers, info.Hosts, info.Links, strings.Join(info.Protocols, "+"), info.MinSameDegree)
+}

@@ -1,0 +1,74 @@
+// Quickstart: anonymize a network and verify functional equivalence.
+//
+// This example generates a small built-in enterprise network (the paper's
+// network A), inspects the sensitive structure an adversary could recover,
+// anonymizes it with the default parameters (k_R=6, k_H=2), verifies that
+// every host-to-host forwarding path is preserved exactly, and shows what
+// changed.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"confmask"
+)
+
+func main() {
+	// 1. Obtain configurations. A real user calls
+	//    confmask.ReadConfigDir("path/to/configs") instead.
+	configs, err := confmask.GenerateExample("Enterprise")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d device configurations\n", len(configs))
+
+	// 2. What can an adversary learn from the raw files?
+	before, err := confmask.Inspect(configs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before: %d routers, %d hosts, %d links, k_d=%d (topology fully recoverable)\n",
+		before.Routers, before.Hosts, before.Links, before.MinSameDegree)
+
+	// 3. Anonymize with the paper's default parameters.
+	opts := confmask.DefaultOptions()
+	opts.Seed = 2024
+	anon, report, err := confmask.Anonymize(configs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("anonymized in %v: %d fake links, %d fake hosts, %d route filters\n",
+		report.Duration.Round(1e6), len(report.FakeLinks), len(report.FakeHosts), report.FiltersAdded)
+	fmt.Printf("injected %d of %d lines (configuration utility U_C = %.3f)\n",
+		report.LinesAdded, report.LinesTotal, report.UC)
+
+	// 4. Verify the paper's headline guarantee: functional equivalence.
+	if err := confmask.Verify(configs, anon); err != nil {
+		log.Fatalf("equivalence check failed: %v", err)
+	}
+	fmt.Println("verified: all original host-to-host paths preserved exactly")
+
+	// 5. The anonymized topology is k-degree anonymous.
+	after, err := confmask.Inspect(anon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after: %d routers, %d hosts, %d links, k_d=%d (≥ k_R=%d)\n",
+		after.Routers, after.Hosts, after.Links, after.MinSameDegree, opts.KR)
+
+	// 6. Forwarding is unchanged for real hosts — compare a trace.
+	origPath, _, err := confmask.Trace(configs, "h1", "h8")
+	if err != nil {
+		log.Fatal(err)
+	}
+	anonPath, _, err := confmask.Trace(anon, "h1", "h8")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("h1→h8 original:    %s\n", strings.Join(origPath[0], " → "))
+	fmt.Printf("h1→h8 anonymized:  %s\n", strings.Join(anonPath[0], " → "))
+}

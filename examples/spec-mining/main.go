@@ -1,0 +1,79 @@
+// Spec mining: quantifying the utility of an anonymized network.
+//
+// Before sharing anonymized configurations, a data holder can attach
+// evidence that downstream analyses will still be valid. This example
+// mines Config2Spec-style specifications — Reachability, Waypoint, and
+// LoadBalance policies — from the original and the anonymized network and
+// diffs them, the methodology behind Fig. 9 of the paper.
+//
+// Expected outcome (and the contrast with NetHide): ConfMask keeps 100% of
+// the original specifications because the data plane is preserved exactly;
+// everything it introduces references only fake hosts.
+//
+// Run with: go run ./examples/spec-mining
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"confmask"
+)
+
+func main() {
+	configs, err := confmask.GenerateExample("Backbone")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	origSpecs, err := confmask.MineSpecs(configs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byType := map[string]int{}
+	for _, s := range origSpecs {
+		byType[strings.SplitN(s, "|", 2)[0]]++
+	}
+	fmt.Printf("original network: %d specifications (%d reachability, %d waypoint, %d loadbalance)\n",
+		len(origSpecs), byType["reachability"], byType["waypoint"], byType["loadbalance"])
+
+	opts := confmask.DefaultOptions()
+	opts.KH = 4 // the paper's Fig. 9 setting
+	opts.Seed = 17
+	anon, _, err := confmask.Anonymize(configs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cmp, err := confmask.CompareSpecs(configs, anon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after ConfMask (k_R=6, k_H=4):\n")
+	fmt.Printf("  kept:       %d/%d (%.1f%%)\n", len(cmp.Kept), len(cmp.Kept)+len(cmp.Missing), 100*cmp.KeptFraction)
+	fmt.Printf("  missing:    %d\n", len(cmp.Missing))
+	fmt.Printf("  introduced: %d, of which %.1f%% reference only fake hosts\n",
+		len(cmp.Introduced), 100*cmp.IntroducedFakeFraction)
+
+	if len(cmp.Missing) > 0 {
+		log.Fatalf("unexpected: ConfMask lost specifications: %v", cmp.Missing[:min(3, len(cmp.Missing))])
+	}
+	fmt.Println("\nsample introduced (benign, fake-host) specifications:")
+	for i, s := range cmp.Introduced {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %s\n", s)
+	}
+	fmt.Println("\nevery original specification survives — downstream verification")
+	fmt.Println("tools (reachability audits, waypoint checks) give identical answers")
+	fmt.Println("on the shared network.")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module confmask
+
+go 1.22

@@ -1,0 +1,154 @@
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"confmask/internal/config"
+	"confmask/internal/netaddr"
+	"confmask/internal/netbuild"
+	"confmask/internal/sim"
+)
+
+// routeAnonymity is Algorithm 2 (§5.3): add k_H − 1 fake twin hosts per
+// real host on the same ingress router, each with a fresh prefix outside
+// the original address space, then randomly (probability p per FIB entry
+// next hop) add deny filters for the fake destinations so their routes
+// diverge from the real twins' — while repairing any filter combination
+// that breaks a fake host's reachability.
+//
+// It returns the fake host names and the number of noise filters kept.
+func routeAnonymity(out *config.Network, pool *netaddr.Pool, base *baseline, kH int, p float64, rng *rand.Rand) ([]string, int, error) {
+	gw := base.snap.Net.GatewayOf
+	var fakeHosts []string
+	fakePrefix := make(map[string]netip.Prefix)
+	for _, h := range base.hosts {
+		router := gw[h]
+		for i := 1; i < kH; i++ {
+			name := fmt.Sprintf("%s-fk%d", h, i)
+			for out.Device(name) != nil {
+				name += "x"
+			}
+			pfx, err := netbuild.AddHostLAN(out, pool, name, router, netbuild.HostOpts{
+				Injected:     true,
+				AdvertiseBGP: out.Device(router).BGP != nil,
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			fakeHosts = append(fakeHosts, name)
+			fakePrefix[name] = pfx
+		}
+	}
+
+	// Expected reachability: a fake twin should be reachable from a router
+	// exactly when its real twin was in the original network.
+	expect := make(map[sim.Pair]bool)
+	for _, h := range base.hosts {
+		for _, r := range base.cfg.Routers() {
+			expect[sim.Pair{Src: r, Dst: h}] = delivered(base.snap.TraceFrom(r, h))
+		}
+	}
+	expectFake := func(r, fh string) bool {
+		real := realTwin(fh, base.hosts)
+		if real == "" {
+			return false
+		}
+		return expect[sim.Pair{Src: r, Dst: real}]
+	}
+
+	snap, err := sim.Simulate(out)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Noise pass: per FIB entry for a fake destination, per next hop, flip
+	// a p-coin and deny.
+	type rec struct {
+		router string
+		nh     sim.NextHop
+		pfx    netip.Prefix
+		src    sim.Source
+	}
+	var recs []rec
+	for _, r := range out.Routers() {
+		fib := snap.FIB(r)
+		if fib == nil {
+			continue
+		}
+		for _, fh := range fakeHosts {
+			rt := fib[fakePrefix[fh]]
+			if rt == nil || rt.Source == sim.SrcConnected || rt.Source == sim.SrcStatic {
+				continue
+			}
+			for _, nh := range rt.NextHops {
+				if rng.Float64() >= p {
+					continue
+				}
+				if addFilter(out, snap.Net, r, nh, rt.Prefix, rt.Source) {
+					recs = append(recs, rec{router: r, nh: nh, pfx: rt.Prefix, src: rt.Source})
+				}
+			}
+		}
+	}
+
+	// Repair pass: while some fake host that should be reachable from a
+	// router is not, remove the local noise filters for it there. Every
+	// black-hole point necessarily holds a local filter (only filters
+	// remove candidates), so each round removes at least one record and
+	// the loop terminates.
+	for round := 0; round <= len(recs); round++ {
+		snap, err = sim.Simulate(out)
+		if err != nil {
+			return nil, 0, err
+		}
+		removedAny := false
+		brokenAny := false
+		for _, fh := range fakeHosts {
+			for _, r := range out.Routers() {
+				if !expectFake(r, fh) || delivered(snap.TraceFrom(r, fh)) {
+					continue
+				}
+				brokenAny = true
+				kept := recs[:0]
+				for _, rc := range recs {
+					if rc.router == r && rc.pfx == fakePrefix[fh] {
+						if removeFilterDeny(out, snap.Net, rc.router, rc.nh, rc.pfx, rc.src) {
+							removedAny = true
+							continue
+						}
+					}
+					kept = append(kept, rc)
+				}
+				recs = kept
+			}
+		}
+		if !brokenAny {
+			return fakeHosts, len(recs), nil
+		}
+		if !removedAny {
+			return nil, 0, fmt.Errorf("route anonymity: unreachable fake host with no local filter to remove")
+		}
+	}
+	return fakeHosts, len(recs), nil
+}
+
+// realTwin maps a fake host name back to its real twin.
+func realTwin(fh string, hosts []string) string {
+	for _, h := range hosts {
+		if len(fh) > len(h) && fh[:len(h)] == h && fh[len(h):len(h)+3] == "-fk" {
+			return h
+		}
+	}
+	return ""
+}
+
+func delivered(ps []sim.Path) bool {
+	for _, p := range ps {
+		if p.Status == sim.Delivered {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,259 @@
+// Package anonymize implements the ConfMask anonymization pipeline of the
+// paper (Fig. 3): preprocessing, topology anonymization (§4.2), route
+// equivalence via Algorithm 1 (§5.2), route anonymity via Algorithm 2
+// (§5.3), and the strawman baselines of §4.3 used in the evaluation.
+//
+// The pipeline only ever adds configuration — fake interfaces, fake hosts,
+// network statements, eBGP neighbor statements, and distribute-list route
+// filters — never editing or deleting an existing line. Combined with the
+// SFE conditions enforced by Algorithm 1, the anonymized network is
+// functionally equivalent to the original: every host-to-host forwarding
+// path is preserved exactly.
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"confmask/internal/config"
+	"confmask/internal/netaddr"
+	"confmask/internal/sim"
+	"confmask/internal/topology"
+)
+
+// Strategy selects the route-equivalence algorithm of step 2.1.
+type Strategy int
+
+const (
+	// ConfMask is Algorithm 1: per-iteration global FIB scan, filtering
+	// every wrong next hop over a fake link (§5.2).
+	ConfMask Strategy = iota
+	// Strawman1 filters every real host prefix on every fake interface
+	// (§4.3). Fast but de-anonymizable: the unified pattern exposes the
+	// fake links.
+	Strawman1
+	// Strawman2 fixes one divergent hop per host pair per iteration based
+	// on traceroute comparisons (§4.3). Conservative but slow.
+	Strawman2
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case ConfMask:
+		return "confmask"
+	case Strawman1:
+		return "strawman1"
+	case Strawman2:
+		return "strawman2"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a pipeline run. The zero value is not useful; start
+// from DefaultOptions.
+type Options struct {
+	// KR is the topology anonymity parameter k_R (Definition 3.1).
+	KR int
+	// KH is the route anonymity parameter k_H: each real host gains
+	// KH−1 fake twins (§5.3).
+	KH int
+	// NoiseP is Algorithm 2's filter probability p (the paper uses 0.1).
+	NoiseP float64
+	// Seed drives all randomness; equal seeds give identical outputs.
+	Seed int64
+	// Strategy selects the route-equivalence algorithm.
+	Strategy Strategy
+	// MaxIterations caps the fixing loops (Algorithm 1 / strawman 2).
+	MaxIterations int
+	// SkipRouteAnonymity disables step 2.2 (used by ablation benches).
+	SkipRouteAnonymity bool
+	// FakeRouters enables the paper's §9 "network scale obfuscation"
+	// extension: this many fake routers are added (with generated
+	// configurations and fake links) before topology anonymization, so
+	// the shared network also hides the router count. Functional
+	// equivalence still holds: no original path can enter a fake router,
+	// and Algorithm 1 filters any new path that tries. Only IGP networks
+	// are supported — auto-generating believable BGP speakers is the open
+	// problem the paper defers.
+	FakeRouters int
+}
+
+// DefaultOptions returns the paper's default parameters: k_R = 6, k_H = 2,
+// p = 0.1.
+func DefaultOptions() Options {
+	return Options{KR: 6, KH: 2, NoiseP: 0.1, Strategy: ConfMask, MaxIterations: 256}
+}
+
+// Timing records per-stage wall time (Fig. 16).
+type Timing struct {
+	Preprocess time.Duration
+	Topology   time.Duration
+	RouteEquiv time.Duration
+	RouteAnon  time.Duration
+}
+
+// Total returns the end-to-end duration.
+func (t Timing) Total() time.Duration {
+	return t.Preprocess + t.Topology + t.RouteEquiv + t.RouteAnon
+}
+
+// Report describes everything a pipeline run changed.
+type Report struct {
+	// FakeEdges are the router-to-router links added for k_R anonymity.
+	FakeEdges []topology.Edge
+	// FakeHosts are the twin hosts added for k_H anonymity.
+	FakeHosts []string
+	// FakeRouters are the routers added by the scale-obfuscation
+	// extension (empty unless Options.FakeRouters > 0).
+	FakeRouters []string
+	// EquivIterations counts route-equivalence fixing iterations.
+	EquivIterations int
+	// EquivFilters counts deny rules added by step 2.1.
+	EquivFilters int
+	// AnonFilters counts deny rules added (and kept) by step 2.2.
+	AnonFilters int
+	// AddedLines is the injected-line breakdown (Table 3).
+	AddedLines config.Stats
+	// TotalLines is the anonymized network's line count P_l.
+	TotalLines int
+	// UC is the configuration utility U_C = 1 − N_l/P_l.
+	UC float64
+	// Timing is the per-stage wall time.
+	Timing Timing
+}
+
+// Run anonymizes a copy of cfg and returns it with a report; cfg itself is
+// not modified. It returns an error when the input fails to simulate, when
+// k_R exceeds the router count, or when a fixing loop fails to converge
+// within Options.MaxIterations.
+func Run(cfg *config.Network, opts Options) (*config.Network, *Report, error) {
+	if opts.KR < 1 || opts.KH < 1 {
+		return nil, nil, fmt.Errorf("anonymize: k_R and k_H must be ≥ 1 (got %d, %d)", opts.KR, opts.KH)
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 256
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rep := &Report{}
+	origStats := cfg.LineStats()
+
+	// Preprocessing: simulate the original network, recording its
+	// topology, data plane, and per-router next hops as the baseline.
+	t0 := time.Now()
+	base, err := newBaseline(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("anonymize: preprocessing: %w", err)
+	}
+	rep.Timing.Preprocess = time.Since(t0)
+
+	out := cfg.Clone()
+	pool := netaddr.NewPool(cfg.UsedPrefixes(), nil)
+
+	// Step 0.5 (extension, §9): scale obfuscation with fake routers.
+	if opts.FakeRouters > 0 {
+		names, err := addFakeRouters(out, pool, base, opts.FakeRouters, rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("anonymize: fake routers: %w", err)
+		}
+		rep.FakeRouters = names
+	}
+
+	// Step 1: topology anonymization.
+	t0 = time.Now()
+	fake, err := anonymizeTopology(out, pool, base, opts.KR, rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("anonymize: topology: %w", err)
+	}
+	rep.FakeEdges = fake
+	rep.Timing.Topology = time.Since(t0)
+
+	// Step 2.1: route equivalence.
+	t0 = time.Now()
+	switch opts.Strategy {
+	case ConfMask:
+		rep.EquivIterations, rep.EquivFilters, err = routeEquivalence(out, base, opts.MaxIterations)
+	case Strawman1:
+		rep.EquivIterations, rep.EquivFilters, err = strawman1(out, base)
+	case Strawman2:
+		rep.EquivIterations, rep.EquivFilters, err = strawman2(out, base, opts.MaxIterations)
+	default:
+		err = fmt.Errorf("unknown strategy %v", opts.Strategy)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("anonymize: route equivalence (%v): %w", opts.Strategy, err)
+	}
+	rep.Timing.RouteEquiv = time.Since(t0)
+
+	// Step 2.2: route anonymity.
+	if !opts.SkipRouteAnonymity && opts.KH > 1 {
+		t0 = time.Now()
+		hosts, filters, err := routeAnonymity(out, pool, base, opts.KH, opts.NoiseP, rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("anonymize: route anonymity: %w", err)
+		}
+		rep.FakeHosts = hosts
+		rep.AnonFilters = filters
+		rep.Timing.RouteAnon = time.Since(t0)
+	}
+
+	newStats := out.LineStats()
+	rep.AddedLines = newStats.Sub(origStats)
+	rep.TotalLines = newStats.Total()
+	rep.UC = config.UtilityUC(cfg, out)
+	return out, rep, nil
+}
+
+// baseline is the preprocessed view of the original network Algorithm 1
+// compares against: its topology (edge set E), data plane, and the
+// DP[r, dest] next-hop index.
+type baseline struct {
+	cfg   *config.Network
+	snap  *sim.Snapshot
+	topo  *topology.Graph
+	dp    *sim.DataPlane
+	hosts []string
+	// dests is every destination Algorithm 1 preserves: all host LAN
+	// prefixes plus the external equivalence-class prefixes of §9
+	// (Internet destinations originated via discard statics).
+	dests []netip.Prefix
+	// external is the subset of dests that are equivalence classes.
+	external []netip.Prefix
+	// nextHops[r][destPrefixString] is the set of original next-hop
+	// devices of router r for a destination.
+	nextHops map[string]map[string]map[string]bool
+}
+
+func newBaseline(cfg *config.Network) (*baseline, error) {
+	snap, err := sim.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &baseline{
+		cfg:      cfg,
+		snap:     snap,
+		topo:     snap.Net.Topology(),
+		dp:       snap.ExtractDataPlane(),
+		hosts:    cfg.Hosts(),
+		external: snap.Net.ExternalDestinations(),
+		nextHops: make(map[string]map[string]map[string]bool),
+	}
+	for _, h := range b.hosts {
+		b.dests = append(b.dests, snap.Net.HostPrefix[h])
+	}
+	b.dests = append(b.dests, b.external...)
+	for _, r := range cfg.Routers() {
+		idx := make(map[string]map[string]bool)
+		for _, p := range b.dests {
+			set := make(map[string]bool)
+			for _, nh := range snap.NextHopRouters(r, p) {
+				set[nh] = true
+			}
+			idx[p.String()] = set
+		}
+		b.nextHops[r] = idx
+	}
+	return b, nil
+}

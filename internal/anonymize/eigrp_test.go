@@ -1,0 +1,57 @@
+package anonymize
+
+import (
+	"testing"
+
+	"confmask/internal/config"
+	"confmask/internal/netgen"
+)
+
+func eigrpNet(t *testing.T) *config.Network {
+	t.Helper()
+	b := netgen.NewBuilder(netgen.EIGRP)
+	for _, r := range []string{"r1", "r2", "r3", "r4", "r5"} {
+		b.Router(r)
+	}
+	b.Link("r1", "r2").Link("r2", "r3").Link("r3", "r4").Link("r4", "r5").Link("r5", "r1").Link("r2", "r5")
+	b.Host("h1", "r1").Host("h3", "r3").Host("h4", "r4")
+	cfg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-default delay exercises the "same link properties" clause of
+	// the distance-vector SFE condition.
+	cfg.Device("r2").Interfaces[0].Delay = 30
+	return cfg
+}
+
+func TestPipelineEIGRP(t *testing.T) {
+	opts := DefaultOptions()
+	opts.KR = 3
+	opts.Seed = 12
+	_, rep := checkPipeline(t, eigrpNet(t), opts)
+	if len(rep.FakeEdges) == 0 {
+		t.Skip("no fake edges needed; filters untested on this seed")
+	}
+}
+
+func TestPipelineEIGRPStrawmen(t *testing.T) {
+	for _, strat := range []Strategy{Strawman1, Strawman2} {
+		opts := DefaultOptions()
+		opts.KR = 3
+		opts.Seed = 12
+		opts.Strategy = strat
+		checkPipeline(t, eigrpNet(t), opts)
+	}
+}
+
+func TestPipelineEIGRPFakeRouters(t *testing.T) {
+	opts := DefaultOptions()
+	opts.KR = 3
+	opts.Seed = 12
+	opts.FakeRouters = 2
+	_, rep := checkPipeline(t, eigrpNet(t), opts)
+	if len(rep.FakeRouters) != 2 {
+		t.Fatalf("fake routers = %v", rep.FakeRouters)
+	}
+}

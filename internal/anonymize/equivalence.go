@@ -1,0 +1,230 @@
+package anonymize
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"confmask/internal/config"
+	"confmask/internal/sim"
+)
+
+// addFilter installs a distribute-list deny rule for prefix p at router r
+// against the next hop nh, choosing the attachment point the way the
+// paper's implementation does (§6): eBGP-learned routes get a deny on the
+// corresponding `neighbor ... distribute-list ... in`, and IGP-learned (or
+// iBGP-resolved) routes get a deny on the `distribute-list prefix ... in
+// <interface>` of the next-hop interface. It reports whether a new deny
+// rule was added (false when the rule already existed or no attachment
+// point exists).
+func addFilter(cfg *config.Network, view *sim.Net, r string, nh sim.NextHop, p netip.Prefix, src sim.Source) bool {
+	d := cfg.Device(r)
+	if d == nil {
+		return false
+	}
+	if src == sim.SrcEBGP {
+		return addNeighborFilter(cfg, view, d, nh, p)
+	}
+	return addInterfaceFilter(d, nh.Iface, p)
+}
+
+// addNeighborFilter denies p on the BGP session riding the link behind nh.
+func addNeighborFilter(cfg *config.Network, view *sim.Net, d *config.Device, nh sim.NextHop, p netip.Prefix) bool {
+	if d.BGP == nil {
+		return false
+	}
+	// Locate the far-end address of the link used by the next hop, then
+	// the matching neighbor statement.
+	var peerAddr netip.Addr
+	for _, l := range view.LinksOf(d.Hostname) {
+		local, _ := l.Local(d.Hostname)
+		other, _ := l.Other(d.Hostname)
+		if local.Iface == nh.Iface && other.Device == nh.Device {
+			peerAddr = other.Addr
+			break
+		}
+	}
+	if !peerAddr.IsValid() {
+		return false
+	}
+	for _, nb := range d.BGP.Neighbors {
+		if nb.Addr != peerAddr {
+			continue
+		}
+		name := nb.DistributeListIn
+		if name == "" {
+			name = "CMF-BGP-" + sanitize(peerAddr.String())
+			nb.DistributeListIn = name
+		}
+		pl := d.EnsurePrefixList(name)
+		if pl.Denies(p) {
+			return false
+		}
+		pl.Deny(p)
+		return true
+	}
+	return false
+}
+
+// addInterfaceFilter denies p on the IGP inbound distribute-list of iface.
+func addInterfaceFilter(d *config.Device, iface string, p netip.Prefix) bool {
+	var filters map[string]string
+	switch {
+	case d.OSPF != nil:
+		if d.OSPF.InFilters == nil {
+			d.OSPF.InFilters = make(map[string]string)
+		}
+		filters = d.OSPF.InFilters
+	case d.EIGRP != nil:
+		if d.EIGRP.InFilters == nil {
+			d.EIGRP.InFilters = make(map[string]string)
+		}
+		filters = d.EIGRP.InFilters
+	case d.RIP != nil:
+		if d.RIP.InFilters == nil {
+			d.RIP.InFilters = make(map[string]string)
+		}
+		filters = d.RIP.InFilters
+	default:
+		return false
+	}
+	name, ok := filters[iface]
+	if !ok {
+		name = "CMF-" + sanitize(iface)
+		filters[iface] = name
+	}
+	pl := d.EnsurePrefixList(name)
+	if pl.Denies(p) {
+		return false
+	}
+	pl.Deny(p)
+	return true
+}
+
+// removeFilterDeny removes a deny rule previously added for p at router r
+// against nh; used by Algorithm 2's reachability repair.
+func removeFilterDeny(cfg *config.Network, view *sim.Net, r string, nh sim.NextHop, p netip.Prefix, src sim.Source) bool {
+	d := cfg.Device(r)
+	if d == nil {
+		return false
+	}
+	if src == sim.SrcEBGP && d.BGP != nil {
+		for _, l := range view.LinksOf(r) {
+			local, _ := l.Local(r)
+			other, _ := l.Other(r)
+			if local.Iface != nh.Iface || other.Device != nh.Device {
+				continue
+			}
+			for _, nb := range d.BGP.Neighbors {
+				if nb.Addr == other.Addr && nb.DistributeListIn != "" {
+					if pl := d.PrefixList(nb.DistributeListIn); pl != nil {
+						return pl.RemoveDeny(p)
+					}
+				}
+			}
+		}
+		return false
+	}
+	var filters map[string]string
+	switch {
+	case d.OSPF != nil:
+		filters = d.OSPF.InFilters
+	case d.EIGRP != nil:
+		filters = d.EIGRP.InFilters
+	case d.RIP != nil:
+		filters = d.RIP.InFilters
+	}
+	if name, ok := filters[nh.Iface]; ok {
+		if pl := d.PrefixList(name); pl != nil {
+			return pl.RemoveDeny(p)
+		}
+	}
+	return false
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// routeEquivalence is Algorithm 1 (§5.2): repeatedly simulate the
+// intermediate network and, for every ⟨router, host destination⟩ FIB entry
+// whose next hop is neither an original next hop nor reached over an
+// original link, add a deny filter for that destination on the fake link.
+// The loop ends when an iteration adds no filter, at which point the SFE
+// conditions hold; a final data-plane comparison asserts functional
+// equivalence.
+func routeEquivalence(out *config.Network, base *baseline, maxIter int) (int, int, error) {
+	filters := 0
+	for iter := 1; iter <= maxIter; iter++ {
+		snap, err := sim.Simulate(out)
+		if err != nil {
+			return iter, filters, err
+		}
+		changed := 0
+		for _, r := range out.Routers() {
+			fib := snap.FIB(r)
+			if fib == nil {
+				continue
+			}
+			orig, known := base.nextHops[r]
+			if !known {
+				// A fake router (scale-obfuscation extension): it never
+				// carries original traffic — wrong paths through it are
+				// filtered at the real routers feeding it — and leaving
+				// its tables unfiltered is what keeps it inconspicuous.
+				continue
+			}
+			for _, p := range base.dests {
+				rt := fib[p]
+				if rt == nil || rt.Source == sim.SrcConnected || rt.Source == sim.SrcStatic {
+					continue
+				}
+				for _, nh := range rt.NextHops {
+					if orig[p.String()][nh.Device] {
+						continue // an original next hop
+					}
+					if base.topo.HasEdge(r, nh.Device) {
+						continue // (r, nxt) ∈ E: real link, fixed upstream
+					}
+					if addFilter(out, snap.Net, r, nh, p, rt.Source) {
+						changed++
+					}
+				}
+			}
+		}
+		filters += changed
+		if changed == 0 {
+			dp := snap.DataPlaneFor(base.hosts)
+			if !sim.EqualOver(base.dp, dp, base.hosts) {
+				pairs := sim.DiffPairs(base.dp, dp, base.hosts)
+				return iter, filters, fmt.Errorf("converged after %d iterations but %d host pairs still differ (first: %v)", iter, len(pairs), pairs[0])
+			}
+			// External equivalence classes: every router's next-hop set
+			// must match the original exactly (the route-equivalence
+			// requirement extended to §9 Internet destinations).
+			for _, r := range base.cfg.Routers() {
+				for _, p := range base.external {
+					got := strings.Join(snap.NextHopRouters(r, p), ",")
+					var want []string
+					for nh := range base.nextHops[r][p.String()] {
+						want = append(want, nh)
+					}
+					sort.Strings(want)
+					if got != strings.Join(want, ",") {
+						return iter, filters, fmt.Errorf("external destination %v diverged on %s: %q vs %q", p, r, got, strings.Join(want, ","))
+					}
+				}
+			}
+			return iter, filters, nil
+		}
+	}
+	return maxIter, filters, fmt.Errorf("no convergence within %d iterations", maxIter)
+}

@@ -1,0 +1,114 @@
+package anonymize
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"confmask/internal/config"
+	"confmask/internal/netbuild"
+	"confmask/internal/sim"
+)
+
+// externalNet is the 3-AS chain plus two external equivalence-class
+// prefixes: one announced from the AS100 edge, one from the AS300 edge —
+// the §9 "Internet hosts" extension.
+func externalNet(t *testing.T) (*config.Network, []netip.Prefix) {
+	t.Helper()
+	cfg := bgpNet(t)
+	pool := netbuild.PoolFor(cfg)
+	var ecs []netip.Prefix
+	for _, r := range []string{"a1", "c2"} {
+		p, err := netbuild.AddExternalDestination(cfg, pool, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecs = append(ecs, p)
+	}
+	return cfg, ecs
+}
+
+func TestExternalDestinationsSimulate(t *testing.T) {
+	cfg, ecs := externalNet(t)
+	snap, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snap.Net.ExternalDestinations()
+	if len(got) != 2 {
+		t.Fatalf("external destinations = %v", got)
+	}
+	// Every router must hold a route for each EC: discard at the origin,
+	// BGP elsewhere.
+	for _, r := range cfg.Routers() {
+		for _, p := range ecs {
+			nhs := snap.NextHopRouters(r, p)
+			if len(nhs) == 0 {
+				t.Fatalf("router %s has no route to EC %v", r, p)
+			}
+		}
+	}
+	// The origin's entry is the discard anchor.
+	a1 := snap.FIB("a1")[ecs[0]]
+	if a1 == nil || a1.Source != sim.SrcStatic || a1.NextHops[0].Device != sim.DiscardDevice {
+		t.Fatalf("origin anchor wrong: %+v", a1)
+	}
+}
+
+// TestPipelinePreservesExternalDestinations is the §9 extension's
+// equivalence guarantee: after anonymization every router forwards
+// traffic for external equivalence classes exactly as before.
+func TestPipelinePreservesExternalDestinations(t *testing.T) {
+	cfg, ecs := externalNet(t)
+	opts := DefaultOptions()
+	opts.KR = 2
+	opts.Seed = 13
+	anon, _ := checkPipeline(t, cfg, opts) // host-level guarantees
+
+	so, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := sim.Simulate(anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cfg.Routers() {
+		for _, p := range ecs {
+			want := strings.Join(so.NextHopRouters(r, p), ",")
+			got := strings.Join(sa.NextHopRouters(r, p), ",")
+			if want != got {
+				t.Fatalf("EC %v next hops changed on %s: %q → %q", p, r, want, got)
+			}
+		}
+	}
+}
+
+func TestExternalDestinationRoundTrip(t *testing.T) {
+	cfg, ecs := externalNet(t)
+	parsed, err := config.ParseNetwork(cfg.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := parsed.Device("a1")
+	found := false
+	for _, s := range d.Statics {
+		if s.Discard && s.Prefix == ecs[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Null0 static lost in round trip")
+	}
+}
+
+func TestAddExternalDestinationErrors(t *testing.T) {
+	cfg := ospfNet(t) // no BGP
+	pool := netbuild.PoolFor(cfg)
+	if _, err := netbuild.AddExternalDestination(cfg, pool, "r1"); err == nil {
+		t.Fatal("external destination on non-BGP router accepted")
+	}
+	if _, err := netbuild.AddExternalDestination(cfg, pool, "missing"); err == nil {
+		t.Fatal("unknown router accepted")
+	}
+}

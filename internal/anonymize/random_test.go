@@ -1,0 +1,131 @@
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"confmask/internal/config"
+	"confmask/internal/netgen"
+)
+
+// randomNet builds a random connected network: a spanning tree plus random
+// extra links, random OSPF costs, and hosts on random routers.
+func randomNet(t *testing.T, proto netgen.Proto, rng *rand.Rand) *config.Network {
+	t.Helper()
+	n := 6 + rng.Intn(12)
+	b := netgen.NewBuilder(proto)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("r%02d", i)
+		b.Router(names[i])
+	}
+	type edge struct{ a, b int }
+	used := map[edge]bool{}
+	link := func(i, j int) {
+		if i == j {
+			return
+		}
+		a, c := i, j
+		if a > c {
+			a, c = c, a
+		}
+		if used[edge{a, c}] {
+			return
+		}
+		used[edge{a, c}] = true
+		cost := 0
+		if proto == netgen.OSPF && rng.Intn(2) == 0 {
+			cost = 1 + rng.Intn(20)
+		}
+		b.LinkCost(names[i], names[j], cost, cost)
+	}
+	for i := 1; i < n; i++ {
+		link(i, rng.Intn(i))
+	}
+	extra := rng.Intn(n)
+	for i := 0; i < extra; i++ {
+		link(rng.Intn(n), rng.Intn(n))
+	}
+	hosts := 2 + rng.Intn(3)
+	for h := 0; h < hosts; h++ {
+		b.Host(fmt.Sprintf("h%02d", h), names[rng.Intn(n)])
+	}
+	cfg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestPipelineRandomOSPF fuzzes the full pipeline over random OSPF
+// topologies: every run must satisfy all end-to-end guarantees
+// (functional equivalence, k-anonymity, add-only, fake-host
+// reachability) that checkPipeline asserts.
+func TestPipelineRandomOSPF(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 12; trial++ {
+		cfg := randomNet(t, netgen.OSPF, rng)
+		opts := DefaultOptions()
+		opts.KR = 2 + rng.Intn(3)
+		opts.Seed = rng.Int63()
+		t.Run(fmt.Sprintf("trial%02d-kr%d", trial, opts.KR), func(t *testing.T) {
+			checkPipeline(t, cfg, opts)
+		})
+	}
+}
+
+// TestPipelineRandomRIP does the same for distance-vector networks.
+func TestPipelineRandomRIP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		cfg := randomNet(t, netgen.RIP, rng)
+		opts := DefaultOptions()
+		opts.KR = 2 + rng.Intn(2)
+		opts.Seed = rng.Int63()
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			checkPipeline(t, cfg, opts)
+		})
+	}
+}
+
+// TestPipelineRandomEIGRP covers the delay-metric distance-vector case.
+func TestPipelineRandomEIGRP(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		cfg := randomNet(t, netgen.EIGRP, rng)
+		// Random delays exercise the metric-preservation requirement.
+		for _, r := range cfg.Routers() {
+			for _, i := range cfg.Device(r).Interfaces {
+				if rng.Intn(3) == 0 {
+					i.Delay = 1 + rng.Intn(50)
+				}
+			}
+		}
+		opts := DefaultOptions()
+		opts.KR = 2 + rng.Intn(2)
+		opts.Seed = rng.Int63()
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			checkPipeline(t, cfg, opts)
+		})
+	}
+}
+
+// TestPipelineRandomWithFakeRouters fuzzes the scale-obfuscation
+// extension.
+func TestPipelineRandomWithFakeRouters(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 6; trial++ {
+		cfg := randomNet(t, netgen.OSPF, rng)
+		opts := DefaultOptions()
+		opts.KR = 2
+		opts.Seed = rng.Int63()
+		opts.FakeRouters = 1 + rng.Intn(3)
+		t.Run(fmt.Sprintf("trial%02d-fr%d", trial, opts.FakeRouters), func(t *testing.T) {
+			_, rep := checkPipeline(t, cfg, opts)
+			if len(rep.FakeRouters) != opts.FakeRouters {
+				t.Fatalf("fake routers = %d, want %d", len(rep.FakeRouters), opts.FakeRouters)
+			}
+		})
+	}
+}

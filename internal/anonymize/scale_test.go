@@ -1,0 +1,54 @@
+package anonymize
+
+import (
+	"testing"
+	"time"
+
+	"confmask/internal/netgen"
+	"confmask/internal/sim"
+)
+
+// TestPipelineLargeNetworks runs the full pipeline on every Table 2
+// evaluation network at the paper's default parameters and verifies
+// functional equivalence and k-anonymity at scale. Skipped under -short.
+func TestPipelineLargeNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-network pipeline test skipped in short mode")
+	}
+	for _, spec := range netgen.Catalog() {
+		spec := spec
+		t.Run(spec.ID+"-"+spec.Name, func(t *testing.T) {
+			cfg, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.Seed = 1
+			start := time.Now()
+			anon, rep, err := Run(cfg, opts)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			t.Logf("total=%v pre=%v topo=%v equiv=%v(iters=%d filters=%d) anon=%v(filters=%d) fakeEdges=%d UC=%.3f",
+				time.Since(start), rep.Timing.Preprocess, rep.Timing.Topology,
+				rep.Timing.RouteEquiv, rep.EquivIterations, rep.EquivFilters,
+				rep.Timing.RouteAnon, rep.AnonFilters, len(rep.FakeEdges), rep.UC)
+
+			anonSnap, err := sim.Simulate(anon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kd := anonSnap.Net.Topology().MinSameDegreeCount(); kd < opts.KR {
+				t.Fatalf("k_d = %d < %d", kd, opts.KR)
+			}
+			origSnap, err := sim.Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts := cfg.Hosts()
+			if diffs := sim.DiffPairs(origSnap.DataPlaneFor(hosts), anonSnap.DataPlaneFor(hosts), hosts); len(diffs) != 0 {
+				t.Fatalf("functional equivalence violated for %d pairs (first %v)", len(diffs), diffs[0])
+			}
+		})
+	}
+}

@@ -1,0 +1,227 @@
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"confmask/internal/config"
+	"confmask/internal/kdegree"
+	"confmask/internal/netaddr"
+	"confmask/internal/netbuild"
+	"confmask/internal/sim"
+	"confmask/internal/topology"
+)
+
+// anonymizeTopology is Step 1 of the pipeline (§4.2): it adds fake links
+// until the router graph is k_R-degree anonymous, writing matching
+// interface and protocol configuration into out.
+//
+// For pure IGP networks the whole router graph is anonymized at once. For
+// BGP networks the paper's two-level scheme applies: each AS's internal
+// router graph is anonymized independently (with k clamped to the AS
+// size), then the AS-level supergraph is anonymized, realizing each new
+// AS-to-AS edge as an eBGP link between randomly chosen border routers;
+// a final intra-AS repair pass restores any router degrees perturbed by
+// the new border interfaces.
+//
+// Fake OSPF links carry cost min_cost(a, b) — the original shortest-path
+// cost between their endpoints — as the link-state SFE condition requires.
+func anonymizeTopology(out *config.Network, pool *netaddr.Pool, base *baseline, kR int, rng *rand.Rand) ([]topology.Edge, error) {
+	// The working graph reflects the network as it currently stands —
+	// including any fake routers the scale-obfuscation extension added —
+	// so the k_R guarantee covers every router the adversary will see.
+	view, err := sim.Build(out)
+	if err != nil {
+		return nil, err
+	}
+	work := view.Topology().RouterSubgraph()
+	asOf := make(map[string]string) // router → AS label ("" when no BGP)
+	multiAS := false
+	asSet := make(map[string]bool)
+	for _, r := range out.Routers() {
+		if d := out.Device(r); d.BGP != nil {
+			lbl := fmt.Sprintf("AS%d", d.BGP.ASN)
+			asOf[r] = lbl
+			asSet[lbl] = true
+		}
+	}
+	if len(asSet) > 1 {
+		multiAS = true
+	}
+
+	var added []topology.Edge
+	apply := func(edges []topology.Edge) error {
+		for _, e := range edges {
+			// Cross-AS additions become eBGP links (no OSPF cost);
+			// same-domain additions carry min_cost per the SFE condition.
+			// fakeLinkCosts distinguishes the two via the original OSPF
+			// distance matrix.
+			costA, costB := fakeLinkCosts(base, e.A, e.B)
+			opts := netbuild.LinkOpts{CostA: costA, CostB: costB, Injected: true}
+			if _, err := netbuild.AddP2PLink(out, pool, e.A, e.B, opts); err != nil {
+				return err
+			}
+			_ = work.AddEdge(e.A, e.B)
+			added = append(added, e)
+		}
+		return nil
+	}
+
+	if !multiAS {
+		g := work.Clone()
+		res, err := kdegree.Anonymize(g, kR, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := apply(res.Added); err != nil {
+			return nil, err
+		}
+		return added, nil
+	}
+
+	// BGP: intra-AS pass, then AS-level pass, then a global repair pass so
+	// the whole router graph (the view an adversary measures, Fig. 6)
+	// meets k_R even after border interfaces perturbed intra-AS degrees.
+	if err := anonymizeIntraAS(out, work, asOf, kR, rng, apply); err != nil {
+		return nil, err
+	}
+	if err := anonymizeASLevel(out, work, asOf, kR, rng, apply); err != nil {
+		return nil, err
+	}
+	g := work.Clone()
+	res, err := kdegree.Anonymize(g, kR, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := apply(res.Added); err != nil {
+		return nil, err
+	}
+	return added, nil
+}
+
+// anonymizeIntraAS anonymizes each AS's induced intra-AS router graph.
+func anonymizeIntraAS(out *config.Network, work *topology.Graph, asOf map[string]string, kR int, rng *rand.Rand, apply func([]topology.Edge) error) error {
+	for _, as := range sortedASLabels(asOf) {
+		members := membersOf(asOf, as)
+		sub := inducedSubgraph(work, members)
+		k := kR
+		if k > len(members) {
+			k = len(members)
+		}
+		res, err := kdegree.Anonymize(sub, k, rng)
+		if err != nil {
+			return fmt.Errorf("AS %s: %w", as, err)
+		}
+		if err := apply(res.Added); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// anonymizeASLevel anonymizes the AS supergraph and realizes each new AS
+// edge as an eBGP link between randomly chosen border routers.
+func anonymizeASLevel(out *config.Network, work *topology.Graph, asOf map[string]string, kR int, rng *rand.Rand, apply func([]topology.Edge) error) error {
+	super := work.Supergraph(asOf)
+	k := kR
+	if n := super.NumNodes(); k > n {
+		k = n
+	}
+	res, err := kdegree.Anonymize(super, k, rng)
+	if err != nil {
+		return fmt.Errorf("AS supergraph: %w", err)
+	}
+	for _, e := range res.Added {
+		a := pickBorderRouter(work, asOf, e.A, rng)
+		b := pickBorderRouter(work, asOf, e.B, rng)
+		if a == "" || b == "" {
+			return fmt.Errorf("AS edge %v: no border router available", e)
+		}
+		if err := apply([]topology.Edge{topology.CanonEdge(a, b)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickBorderRouter selects a random border router of an AS: a member with
+// at least one inter-AS edge, falling back to any member.
+func pickBorderRouter(work *topology.Graph, asOf map[string]string, as string, rng *rand.Rand) string {
+	members := membersOf(asOf, as)
+	var borders []string
+	for _, m := range members {
+		for _, n := range work.Neighbors(m) {
+			if other, ok := asOf[n]; ok && other != as {
+				borders = append(borders, m)
+				break
+			}
+		}
+	}
+	if len(borders) == 0 {
+		borders = members
+	}
+	if len(borders) == 0 {
+		return ""
+	}
+	if rng == nil {
+		return borders[0]
+	}
+	return borders[rng.Intn(len(borders))]
+}
+
+// fakeLinkCosts returns the OSPF costs for a fake link between routers a
+// and b: min_cost(a→b) and min_cost(b→a) in the original network. When no
+// OSPF distance exists (RIP networks, disconnected domains) the protocol
+// default applies.
+func fakeLinkCosts(base *baseline, a, b string) (int, int) {
+	da, oka := base.snap.OSPFDist[a][b]
+	db, okb := base.snap.OSPFDist[b][a]
+	if !oka || !okb {
+		return 0, 0
+	}
+	return da, db
+}
+
+func sortedASLabels(asOf map[string]string) []string {
+	set := make(map[string]bool)
+	for _, as := range asOf {
+		set[as] = true
+	}
+	out := make([]string, 0, len(set))
+	for as := range set {
+		out = append(out, as)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func membersOf(asOf map[string]string, as string) []string {
+	var out []string
+	for r, a := range asOf {
+		if a == as {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// inducedSubgraph returns the subgraph of g induced by the given router
+// set (intra-AS links only).
+func inducedSubgraph(g *topology.Graph, members []string) *topology.Graph {
+	in := make(map[string]bool, len(members))
+	sub := topology.New()
+	for _, m := range members {
+		in[m] = true
+		sub.AddNode(m, topology.Router)
+	}
+	for _, m := range members {
+		for _, n := range g.Neighbors(m) {
+			if in[n] && m < n {
+				_ = sub.AddEdge(m, n)
+			}
+		}
+	}
+	return sub
+}

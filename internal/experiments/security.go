@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"confmask/internal/anonymize"
+	"confmask/internal/attack"
+	"confmask/internal/topology"
+)
+
+// SecurityRow reports, per network, how the de-anonymization attacks of
+// §3.2/§4.3 fare against ConfMask's output versus strawman 1's. This is an
+// extension experiment (the paper argues these properties qualitatively;
+// here they are measured).
+type SecurityRow struct {
+	Net string
+	// DenyPatternCM / DenyPatternS1: attachments flagged by the
+	// shared-deny-set attack (strawman 1's unified RejPfxs pattern).
+	DenyPatternCM, DenyPatternS1 int
+	// SPTTruePos is the number of ConfMask fake links identified by the
+	// shortest-path-tree dead-link attack (0 expected: fake links carry
+	// matched costs and real traffic from fake hosts).
+	SPTTruePos int
+	// Unconfigured is the number of links flagged for missing protocol
+	// configuration in ConfMask's output (0 expected).
+	Unconfigured int
+	// MaxReidentConfidence is the adversary's best degree-based
+	// re-identification confidence over all routers (≤ 1/k_R expected).
+	MaxReidentConfidence float64
+}
+
+// SecurityAnalysis attacks the anonymized outputs at the default
+// parameters.
+func (r *Runner) SecurityAnalysis() ([]SecurityRow, error) {
+	var out []SecurityRow
+	for _, s := range r.Nets {
+		cm, err := r.run(s, defaultKR, defaultKH, anonymize.ConfMask)
+		if err != nil {
+			return nil, err
+		}
+		s1, err := r.run(s, defaultKR, defaultKH, anonymize.Strawman1)
+		if err != nil {
+			return nil, err
+		}
+		row := SecurityRow{Net: s.Name}
+		row.DenyPatternCM = len(attack.SharedDenyPattern(cm.Anon, 2))
+		row.DenyPatternS1 = len(attack.SharedDenyPattern(s1.Anon, 2))
+
+		spt, err := attack.LargeCostLinks(cm.Anon)
+		if err != nil {
+			return nil, err
+		}
+		row.SPTTruePos = attack.ScoreLinks(spt, cm.Report.FakeEdges).TruePositives
+
+		unconf, err := attack.UnconfiguredInterfaces(cm.Anon)
+		if err != nil {
+			return nil, err
+		}
+		row.Unconfigured = len(unconf)
+
+		shared := cm.Snap.Net.Topology()
+		for _, router := range shared.NodesOf(topology.Router) {
+			_, conf := attack.DegreeReidentification(shared, shared.RouterDegree(router))
+			if conf > row.MaxReidentConfidence {
+				row.MaxReidentConfidence = conf
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package kdegree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"confmask/internal/topology"
+)
+
+// TestAnonymizeScaleFreeGraphs stresses the realizer on preferential-
+// attachment-style graphs — the degree-skewed shape of real carrier
+// topologies and the hardest case for small k (hub classes are tiny).
+func TestAnonymizeScaleFreeGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(60)
+		g := topology.New()
+		names := make([]string, n)
+		degs := make([]int, n)
+		for i := 0; i < n; i++ {
+			names[i] = nodeName(i)
+			g.AddNode(names[i], topology.Router)
+		}
+		// Preferential attachment: connect each new node to existing
+		// nodes weighted by degree.
+		total := 0
+		_ = g.AddEdge(names[0], names[1])
+		degs[0], degs[1] = 1, 1
+		total = 2
+		for i := 2; i < n; i++ {
+			m := 1 + rng.Intn(2)
+			for j := 0; j < m; j++ {
+				pick := rng.Intn(total + i) // +i gives every node base weight
+				target := 0
+				acc := 0
+				for x := 0; x < i; x++ {
+					acc += degs[x] + 1
+					if pick < acc {
+						target = x
+						break
+					}
+				}
+				if err := g.AddEdge(names[i], names[target]); err == nil {
+					degs[i]++
+					degs[target]++
+					total += 2
+				}
+			}
+		}
+		for _, k := range []int{2, 3, 5} {
+			gc := g.Clone()
+			if _, err := Anonymize(gc, k, rng); err != nil {
+				t.Fatalf("trial %d k=%d: %v", trial, k, err)
+			}
+			if kd := gc.MinSameDegreeCount(); kd < k {
+				t.Fatalf("trial %d: k_d=%d < %d", trial, kd, k)
+			}
+			// Supergraph property.
+			for _, e := range g.Edges() {
+				if !gc.HasEdge(e.A, e.B) {
+					t.Fatalf("trial %d: lost edge %v", trial, e)
+				}
+			}
+		}
+	}
+}
+
+// Property: the DP's total increment equals the sum of per-element
+// increases and is minimal among contiguous groupings for small inputs
+// (brute-force cross-check).
+func TestAnonymousTargetsOptimalSmall(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		degs := make([]int, len(raw))
+		for i, v := range raw {
+			degs[i] = int(v % 8)
+		}
+		k := 2
+		got := AnonymousTargets(degs, k)
+		cost := 0
+		for i := range degs {
+			cost += got[i] - degs[i]
+		}
+		best := bruteForceCost(degs, k)
+		return cost == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceCost enumerates all contiguous groupings of the sorted-desc
+// sequence with group sizes ≥ k and returns the minimum raise cost.
+func bruteForceCost(degs []int, k int) int {
+	d := append([]int(nil), degs...)
+	// sort desc
+	for i := 0; i < len(d); i++ {
+		for j := i + 1; j < len(d); j++ {
+			if d[j] > d[i] {
+				d[i], d[j] = d[j], d[i]
+			}
+		}
+	}
+	n := len(d)
+	if n < k {
+		// One group raised to max.
+		c := 0
+		for _, v := range d {
+			c += d[0] - v
+		}
+		return c
+	}
+	const inf = int(^uint(0) >> 1)
+	memo := make([]int, n+1)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var solve func(start int) int
+	solve = func(start int) int {
+		if start == n {
+			return 0
+		}
+		if n-start < k {
+			return inf
+		}
+		if memo[start] >= 0 {
+			return memo[start]
+		}
+		best := inf
+		for end := start + k; end <= n; end++ {
+			rest := solve(end)
+			if rest == inf {
+				continue
+			}
+			c := 0
+			for t := start; t < end; t++ {
+				c += d[start] - d[t]
+			}
+			if c+rest < best {
+				best = c + rest
+			}
+		}
+		memo[start] = best
+		return best
+	}
+	return solve(0)
+}

@@ -1,0 +1,278 @@
+// Package kdegree implements k-degree graph anonymization in the style of
+// Liu & Terzi (SIGMOD 2008), restricted to the edge-addition-only variant
+// ConfMask requires: the anonymized graph is a supergraph of the original,
+// so every original router and link survives (the topology-preservation
+// half of functional equivalence), and after anonymization every router
+// degree is shared by at least k routers (Definition 3.1 of the paper).
+//
+// The degree-sequence step is the exact O(n·k) dynamic program of
+// Liu–Terzi; because degrees may only grow, each group of the sorted
+// sequence is raised to the group's maximum, which also preserves the
+// graph's highest degree (a property the paper calls out in §4.2).
+// Realization greedily pairs residual demand, and — because not every
+// k-anonymous sequence is realizable as a supergraph — the whole procedure
+// iterates on the updated degree sequence until the anonymity definition
+// holds, forcing progress when the greedy step stalls. Termination is
+// guaranteed: degrees only grow and the complete graph is k-anonymous for
+// any k ≤ n.
+package kdegree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"confmask/internal/topology"
+)
+
+// Result reports what Anonymize did.
+type Result struct {
+	// Added lists the fake router-to-router edges, in insertion order.
+	Added []topology.Edge
+	// Iterations counts sequence-anonymization rounds.
+	Iterations int
+}
+
+// Anonymize adds router-to-router edges to g in place until the router
+// degree sequence is k-anonymous. Host nodes and host links are ignored
+// (ConfMask anonymizes the router graph; fake hosts are a later stage).
+// The rng drives tie-breaking between equally good partners so repeated
+// runs with different seeds yield different fake topologies.
+func Anonymize(g *topology.Graph, k int, rng *rand.Rand) (*Result, error) {
+	routers := g.NodesOf(topology.Router)
+	n := len(routers)
+	if k <= 1 {
+		return &Result{}, nil
+	}
+	if k > n {
+		return nil, fmt.Errorf("kdegree: k=%d exceeds the %d routers available", k, n)
+	}
+
+	res := &Result{}
+	// Every round either finishes or adds at least one edge, and the
+	// complete graph (bounded by n(n−1)/2 additions) is k-anonymous for
+	// any k ≤ n, so this bound guarantees termination.
+	maxRounds := n*(n-1)/2 + 2
+	for round := 0; round < maxRounds; round++ {
+		if g.MinSameDegreeCount() >= k {
+			res.Iterations = round
+			return res, nil
+		}
+		degs := make([]int, n)
+		for i, r := range routers {
+			degs[i] = g.RouterDegree(r)
+		}
+		targets := AnonymousTargets(degs, k)
+		added := realize(g, routers, targets, rng, res)
+		if g.MinSameDegreeCount() >= k {
+			res.Iterations = round + 1
+			return res, nil
+		}
+		if added == 0 {
+			// The greedy step stalled (e.g. all residual pairs already
+			// adjacent). Force progress by joining the two lowest-degree
+			// non-adjacent routers; the next round re-plans on the new
+			// sequence.
+			if !forceEdge(g, routers, res) {
+				// Complete graph: every degree equals n-1, which is
+				// k-anonymous for all k ≤ n, so this is unreachable —
+				// defensive only.
+				break
+			}
+		}
+	}
+	if g.MinSameDegreeCount() >= k {
+		return res, nil
+	}
+	return nil, fmt.Errorf("kdegree: failed to reach %d-degree anonymity", k)
+}
+
+// AnonymousTargets computes, for an arbitrary-order degree slice, the
+// cheapest element-wise-≥ k-anonymous degree sequence using the Liu–Terzi
+// dynamic program, returning targets aligned with the input order.
+func AnonymousTargets(degs []int, k int) []int {
+	n := len(degs)
+	out := make([]int, n)
+	if n == 0 {
+		return out
+	}
+	if k > n {
+		k = n
+	}
+	// Sort descending, remembering positions.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return degs[idx[a]] > degs[idx[b]] })
+	d := make([]int, n)
+	for i, j := range idx {
+		d[i] = degs[j]
+	}
+
+	// cost(i,j): raise d[i..j] (inclusive) to d[i].
+	prefix := make([]int, n+1)
+	for i, v := range d {
+		prefix[i+1] = prefix[i] + v
+	}
+	cost := func(i, j int) int {
+		return (j-i+1)*d[i] - (prefix[j+1] - prefix[i])
+	}
+
+	const inf = int(^uint(0) >> 1)
+	da := make([]int, n)  // da[j]: min cost anonymizing d[0..j]
+	cut := make([]int, n) // cut[j]: start of the last group
+	for j := 0; j < n; j++ {
+		da[j] = inf
+		if j+1 < k {
+			continue
+		}
+		if j+1 < 2*k {
+			da[j] = cost(0, j)
+			cut[j] = 0
+			continue
+		}
+		// Last group starts at t+1 with size in [k, 2k-1].
+		for t := j - 2*k + 1; t <= j-k; t++ {
+			if t < 0 || da[t] == inf {
+				continue
+			}
+			c := da[t] + cost(t+1, j)
+			if c < da[j] {
+				da[j] = c
+				cut[j] = t + 1
+			}
+		}
+		// Also allow a single group covering everything so far.
+		if c := cost(0, j); c < da[j] {
+			da[j] = c
+			cut[j] = 0
+		}
+	}
+
+	// Walk the cuts back and assign group maxima.
+	tgt := make([]int, n)
+	j := n - 1
+	for j >= 0 {
+		start := cut[j]
+		for t := start; t <= j; t++ {
+			tgt[t] = d[start]
+		}
+		j = start - 1
+	}
+	for i, orig := range idx {
+		out[orig] = tgt[i]
+	}
+	return out
+}
+
+// realize greedily adds edges between routers with positive residual
+// demand, never duplicating an edge. Returns the number of edges added.
+func realize(g *topology.Graph, routers []string, targets []int, rng *rand.Rand, res *Result) int {
+	residual := make(map[string]int, len(routers))
+	for i, r := range routers {
+		residual[r] = targets[i] - g.RouterDegree(r)
+	}
+	added := 0
+	for {
+		u := pickMaxResidual(routers, residual, "", g, rng)
+		if u == "" {
+			return added
+		}
+		w := pickMaxResidual(routers, residual, u, g, rng)
+		if w == "" {
+			// u has demand but no residual-positive partner — the
+			// lone-residual case (e.g. a unique hub whose class must be
+			// joined by exactly one other node, k=2). Borrow a
+			// zero-residual partner with the lowest degree: its class
+			// shift is re-planned by the outer loop, and preferring low
+			// degrees keeps the graph's maximum degree untouched.
+			w = pickLowestDegreePartner(routers, u, g)
+			if w == "" {
+				residual[u] = 0 // adjacent to everyone; give up on u
+				continue
+			}
+		}
+		if err := g.AddEdge(u, w); err != nil {
+			residual[u] = 0
+			continue
+		}
+		res.Added = append(res.Added, topology.CanonEdge(u, w))
+		residual[u]--
+		residual[w]--
+		added++
+	}
+}
+
+// pickLowestDegreePartner returns the non-adjacent router with the lowest
+// router degree (ties broken by name), or "" when u is adjacent to all.
+func pickLowestDegreePartner(routers []string, u string, g *topology.Graph) string {
+	best := ""
+	bestDeg := -1
+	for _, r := range routers {
+		if r == u || g.HasEdge(u, r) {
+			continue
+		}
+		d := g.RouterDegree(r)
+		if best == "" || d < bestDeg || (d == bestDeg && r < best) {
+			best = r
+			bestDeg = d
+		}
+	}
+	return best
+}
+
+// pickMaxResidual returns a router with the highest positive residual that
+// is not `exclude` and (when exclude is set) not adjacent to it; ties are
+// broken uniformly at random. Empty string means no candidate.
+func pickMaxResidual(routers []string, residual map[string]int, exclude string, g *topology.Graph, rng *rand.Rand) string {
+	best := 0
+	var cands []string
+	for _, r := range routers {
+		if r == exclude || residual[r] <= 0 {
+			continue
+		}
+		if exclude != "" && g.HasEdge(exclude, r) {
+			continue
+		}
+		switch {
+		case residual[r] > best:
+			best = residual[r]
+			cands = cands[:0]
+			cands = append(cands, r)
+		case residual[r] == best:
+			cands = append(cands, r)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	if rng == nil {
+		return cands[0]
+	}
+	return cands[rng.Intn(len(cands))]
+}
+
+// forceEdge joins the two lowest-degree non-adjacent routers; false when
+// the router graph is complete.
+func forceEdge(g *topology.Graph, routers []string, res *Result) bool {
+	byDeg := append([]string(nil), routers...)
+	sort.Slice(byDeg, func(i, j int) bool {
+		di, dj := g.RouterDegree(byDeg[i]), g.RouterDegree(byDeg[j])
+		if di != dj {
+			return di < dj
+		}
+		return byDeg[i] < byDeg[j]
+	})
+	for i := 0; i < len(byDeg); i++ {
+		for j := i + 1; j < len(byDeg); j++ {
+			if !g.HasEdge(byDeg[i], byDeg[j]) {
+				if err := g.AddEdge(byDeg[i], byDeg[j]); err == nil {
+					res.Added = append(res.Added, topology.CanonEdge(byDeg[i], byDeg[j]))
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

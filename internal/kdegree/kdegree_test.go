@@ -1,0 +1,294 @@
+package kdegree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"confmask/internal/topology"
+)
+
+func starGraph(leaves int) *topology.Graph {
+	g := topology.New()
+	g.AddNode("hub", topology.Router)
+	for i := 0; i < leaves; i++ {
+		name := "leaf" + string(rune('a'+i))
+		g.AddNode(name, topology.Router)
+		_ = g.AddEdge("hub", name)
+	}
+	return g
+}
+
+func TestAnonymousTargetsSimple(t *testing.T) {
+	got := AnonymousTargets([]int{5, 3, 3, 1}, 2)
+	// Sorted desc: 5 3 3 1 → groups {5,3},{3,1} cost 2+2=4, or {5,3,3,1}
+	// cost 0+2+2+4=8, or {5,3,3},{?} infeasible (last group size 1).
+	want := []int{5, 5, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("targets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAnonymousTargetsSingleGroup(t *testing.T) {
+	got := AnonymousTargets([]int{4, 2, 1}, 3)
+	for _, v := range got {
+		if v != 4 {
+			t.Fatalf("targets = %v, want all 4", got)
+		}
+	}
+}
+
+func TestAnonymousTargetsEmptyAndDegenerate(t *testing.T) {
+	if got := AnonymousTargets(nil, 3); len(got) != 0 {
+		t.Fatalf("empty input → %v", got)
+	}
+	got := AnonymousTargets([]int{7}, 5)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("singleton → %v", got)
+	}
+}
+
+// Property: targets are element-wise ≥ input, the multiset of target values
+// is k-anonymous, and the maximum degree never grows.
+func TestAnonymousTargetsProperties(t *testing.T) {
+	f := func(raw []uint8, kk uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		degs := make([]int, len(raw))
+		maxIn := 0
+		for i, v := range raw {
+			degs[i] = int(v % 16)
+			if degs[i] > maxIn {
+				maxIn = degs[i]
+			}
+		}
+		k := int(kk%5) + 1
+		got := AnonymousTargets(degs, k)
+		counts := map[int]int{}
+		maxOut := 0
+		for i, v := range got {
+			if v < degs[i] {
+				return false // must only increase
+			}
+			if v > maxOut {
+				maxOut = v
+			}
+			counts[v]++
+		}
+		if maxOut != maxIn {
+			return false // highest degree must be preserved
+		}
+		keff := k
+		if keff > len(degs) {
+			keff = len(degs)
+		}
+		for _, c := range counts {
+			if c < keff {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnonymizeStar(t *testing.T) {
+	// Star: hub degree 5, leaves degree 1 → already 1-anonymous but the
+	// hub is unique, so k=2 requires work.
+	g := starGraph(5)
+	orig := g.Clone()
+	res, err := Anonymize(g, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	if got := g.MinSameDegreeCount(); got < 2 {
+		t.Fatalf("k_d = %d after anonymization", got)
+	}
+	// Supergraph property: every original edge must survive.
+	for _, e := range orig.Edges() {
+		if !g.HasEdge(e.A, e.B) {
+			t.Fatalf("original edge %v removed", e)
+		}
+	}
+	// Added edges must be reported exactly.
+	diff := topology.DiffEdges(orig, g)
+	if len(diff) != len(res.Added) {
+		t.Fatalf("reported %d added edges, graph gained %d", len(res.Added), len(diff))
+	}
+}
+
+func TestAnonymizeAlreadyAnonymous(t *testing.T) {
+	// A 4-cycle is 4-anonymous (all degrees 2).
+	g := topology.New()
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		g.AddNode(n, topology.Router)
+	}
+	_ = g.AddEdge("a", "b")
+	_ = g.AddEdge("b", "c")
+	_ = g.AddEdge("c", "d")
+	_ = g.AddEdge("d", "a")
+	res, err := Anonymize(g, 4, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 0 {
+		t.Fatalf("added %v to an already-anonymous graph", res.Added)
+	}
+}
+
+func TestAnonymizeKTooLarge(t *testing.T) {
+	g := starGraph(2)
+	if _, err := Anonymize(g, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for k > #routers")
+	}
+}
+
+func TestAnonymizeKOne(t *testing.T) {
+	g := starGraph(3)
+	res, err := Anonymize(g, 1, nil)
+	if err != nil || len(res.Added) != 0 {
+		t.Fatalf("k=1 should be a no-op, got %v, %v", res, err)
+	}
+}
+
+func TestAnonymizeIgnoresHosts(t *testing.T) {
+	g := starGraph(4)
+	g.AddNode("h1", topology.Host)
+	_ = g.AddEdge("h1", "hub")
+	_, err := Anonymize(g, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Neighbors("h1") {
+		if n != "hub" {
+			t.Fatalf("host gained fake edge to %s", n)
+		}
+	}
+}
+
+// Property: anonymization succeeds on random graphs and yields
+// k-anonymity with only added edges.
+func TestAnonymizeRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(20)
+		g := topology.New()
+		names := make([]string, n)
+		for i := 0; i < n; i++ {
+			names[i] = nodeName(i)
+			g.AddNode(names[i], topology.Router)
+		}
+		// Random connected-ish graph.
+		for i := 1; i < n; i++ {
+			_ = g.AddEdge(names[i], names[rng.Intn(i)])
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				_ = g.AddEdge(names[a], names[b])
+			}
+		}
+		orig := g.Clone()
+		k := 2 + rng.Intn(4)
+		if k > n {
+			k = n
+		}
+		if _, err := Anonymize(g, k, rng); err != nil {
+			t.Fatalf("trial %d (n=%d,k=%d): %v", trial, n, k, err)
+		}
+		if got := g.MinSameDegreeCount(); got < k {
+			t.Fatalf("trial %d: k_d=%d < k=%d", trial, got, k)
+		}
+		for _, e := range orig.Edges() {
+			if !g.HasEdge(e.A, e.B) {
+				t.Fatalf("trial %d: edge %v lost", trial, e)
+			}
+		}
+	}
+}
+
+func TestAnonymizeDeterministicUnderSeed(t *testing.T) {
+	build := func() *topology.Graph { return starGraph(6) }
+	g1, g2 := build(), build()
+	r1, _ := Anonymize(g1, 3, rand.New(rand.NewSource(99)))
+	r2, _ := Anonymize(g2, 3, rand.New(rand.NewSource(99)))
+	if len(r1.Added) != len(r2.Added) {
+		t.Fatalf("nondeterministic: %v vs %v", r1.Added, r2.Added)
+	}
+	for i := range r1.Added {
+		if r1.Added[i] != r2.Added[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, r1.Added[i], r2.Added[i])
+		}
+	}
+}
+
+// TestAnonymizeUniqueHubK2 is the lone-residual regression: a graph with a
+// unique high-degree hub whose class must gain exactly one member. The
+// greedy realizer has no residual partner for the node being raised and
+// must borrow a zero-residual one.
+func TestAnonymizeUniqueHubK2(t *testing.T) {
+	g := topology.New()
+	n := 40
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = nodeName(i)
+		g.AddNode(names[i], topology.Router)
+	}
+	// Ring + a hub connected to half the nodes.
+	for i := 0; i < n; i++ {
+		_ = g.AddEdge(names[i], names[(i+1)%n])
+	}
+	for i := 2; i < n/2; i += 1 {
+		_ = g.AddEdge(names[0], names[i])
+	}
+	if g.MinSameDegreeCount() >= 2 {
+		t.Skip("construction did not produce a unique class")
+	}
+	if _, err := Anonymize(g, 2, rand.New(rand.NewSource(4))); err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	if kd := g.MinSameDegreeCount(); kd < 2 {
+		t.Fatalf("k_d = %d", kd)
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestTargetsSortedInputsAgree(t *testing.T) {
+	// The DP must be order-independent: shuffling the input permutes the
+	// output identically.
+	degs := []int{9, 1, 4, 4, 2, 7, 7, 3}
+	k := 3
+	base := AnonymousTargets(degs, k)
+	perm := []int{3, 0, 7, 5, 1, 6, 2, 4}
+	shuffled := make([]int, len(degs))
+	for i, p := range perm {
+		shuffled[i] = degs[p]
+	}
+	got := AnonymousTargets(shuffled, k)
+	want := make([]int, len(degs))
+	for i, p := range perm {
+		want[i] = base[p]
+	}
+	// Same multiset mapping: sorted views must agree, and each position's
+	// target must be ≥ its degree.
+	sortedGot := append([]int(nil), got...)
+	sortedWant := append([]int(nil), want...)
+	sort.Ints(sortedGot)
+	sort.Ints(sortedWant)
+	for i := range sortedGot {
+		if sortedGot[i] != sortedWant[i] {
+			t.Fatalf("permutation changed target multiset: %v vs %v", got, want)
+		}
+	}
+}

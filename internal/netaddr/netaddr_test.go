@@ -1,0 +1,234 @@
+package netaddr
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolAvoidsUsedPrefixes(t *testing.T) {
+	used := []netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/16"),
+		netip.MustParsePrefix("10.1.2.0/24"),
+	}
+	p := NewPool(used, nil)
+	for i := 0; i < 100; i++ {
+		pfx, err := p.Alloc(24)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		for _, u := range used {
+			if u.Overlaps(pfx) {
+				t.Fatalf("allocated %v overlaps used %v", pfx, u)
+			}
+		}
+	}
+}
+
+func TestPoolAllocationsAreDisjoint(t *testing.T) {
+	p := NewPool(nil, nil)
+	var got []netip.Prefix
+	for i := 0; i < 200; i++ {
+		pfx, err := p.Alloc(30)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		for _, g := range got {
+			if g.Overlaps(pfx) {
+				t.Fatalf("allocation %v overlaps earlier %v", pfx, g)
+			}
+		}
+		got = append(got, pfx)
+	}
+}
+
+func TestPoolDeterministic(t *testing.T) {
+	a := NewPool(nil, nil)
+	b := NewPool(nil, nil)
+	for i := 0; i < 50; i++ {
+		pa, _ := a.Alloc(31)
+		pb, _ := b.Alloc(31)
+		if pa != pb {
+			t.Fatalf("allocation %d diverged: %v vs %v", i, pa, pb)
+		}
+	}
+}
+
+func TestPoolP2PAndLAN(t *testing.T) {
+	p := NewPool(nil, nil)
+	pfx, a, b, err := p.AllocP2P()
+	if err != nil {
+		t.Fatalf("AllocP2P: %v", err)
+	}
+	if pfx.Bits() != 31 || !pfx.Contains(a) || !pfx.Contains(b) || a == b {
+		t.Fatalf("bad p2p allocation %v %v %v", pfx, a, b)
+	}
+	lan, gw, host, err := p.AllocLAN()
+	if err != nil {
+		t.Fatalf("AllocLAN: %v", err)
+	}
+	if lan.Bits() != 24 || !lan.Contains(gw) || !lan.Contains(host) || gw == host {
+		t.Fatalf("bad LAN allocation %v %v %v", lan, gw, host)
+	}
+	if lan.Overlaps(pfx) {
+		t.Fatalf("LAN %v overlaps P2P %v", lan, pfx)
+	}
+}
+
+func TestPoolReserve(t *testing.T) {
+	p := NewPool(nil, nil)
+	r := netip.MustParsePrefix("10.0.0.0/9")
+	p.Reserve(r)
+	pfx, err := p.Alloc(24)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if r.Overlaps(pfx) {
+		t.Fatalf("allocated %v inside reserved %v", pfx, r)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	small := []netip.Prefix{netip.MustParsePrefix("10.0.0.0/30")}
+	p := NewPool(nil, small)
+	if _, err := p.Alloc(31); err != nil {
+		t.Fatalf("first alloc: %v", err)
+	}
+	if _, err := p.Alloc(31); err != nil {
+		t.Fatalf("second alloc: %v", err)
+	}
+	if _, err := p.Alloc(31); err == nil {
+		t.Fatalf("expected exhaustion error")
+	}
+}
+
+func TestPoolRejectsBadLength(t *testing.T) {
+	p := NewPool(nil, nil)
+	if _, err := p.Alloc(33); err == nil {
+		t.Fatal("expected error for /33")
+	}
+	if _, err := p.Alloc(-1); err == nil {
+		t.Fatal("expected error for /-1")
+	}
+}
+
+func TestAnonymizerDeterministic(t *testing.T) {
+	a1 := NewAnonymizer([]byte("key"))
+	a2 := NewAnonymizer([]byte("key"))
+	addr := netip.MustParseAddr("192.168.1.77")
+	if a1.Addr(addr) != a2.Addr(addr) {
+		t.Fatal("same key must map identically")
+	}
+	a3 := NewAnonymizer([]byte("other"))
+	if a1.Addr(addr) == a3.Addr(addr) {
+		t.Fatal("different keys should map differently (overwhelmingly likely)")
+	}
+}
+
+// TestAnonymizerPrefixPreserving is the defining Crypto-PAn property: the
+// length of the longest common prefix is preserved by the mapping.
+func TestAnonymizerPrefixPreserving(t *testing.T) {
+	an := NewAnonymizer([]byte("secret"))
+	f := func(x, y uint32) bool {
+		a := addrOf(x)
+		b := addrOf(y)
+		return lcp(an.Addr(a), an.Addr(b)) == lcp(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnonymizerInjective: distinct addresses map to distinct addresses
+// (follows from prefix preservation, but checked directly).
+func TestAnonymizerInjective(t *testing.T) {
+	an := NewAnonymizer([]byte("secret"))
+	f := func(x, y uint32) bool {
+		if x == y {
+			return true
+		}
+		return an.Addr(addrOf(x)) != an.Addr(addrOf(y))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnonymizerPrefixMasked(t *testing.T) {
+	an := NewAnonymizer([]byte("secret"))
+	p := netip.MustParsePrefix("10.1.2.0/24")
+	got := an.Prefix(p)
+	if got.Bits() != 24 {
+		t.Fatalf("length changed: %v", got)
+	}
+	if got != got.Masked() {
+		t.Fatalf("result not masked: %v", got)
+	}
+}
+
+func TestAnonymizerIgnoresIPv6(t *testing.T) {
+	an := NewAnonymizer([]byte("secret"))
+	v6 := netip.MustParseAddr("2001:db8::1")
+	if an.Addr(v6) != v6 {
+		t.Fatal("IPv6 addresses should pass through unchanged")
+	}
+}
+
+func addrOf(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+func lcp(a, b netip.Addr) int {
+	x := a.As4()
+	y := b.As4()
+	va := uint32(x[0])<<24 | uint32(x[1])<<16 | uint32(x[2])<<8 | uint32(x[3])
+	vb := uint32(y[0])<<24 | uint32(y[1])<<16 | uint32(y[2])<<8 | uint32(y[3])
+	n := 0
+	for n < 32 && (va>>(31-n))&1 == (vb>>(31-n))&1 {
+		n++
+	}
+	return n
+}
+
+func TestAllocSkipsTooSmallSupernets(t *testing.T) {
+	p := NewPool(nil, nil)
+	// A /8 fits only in 10.0.0.0/8; the second request must fail after
+	// the other supernets are skipped (they are /12 and /16).
+	if _, err := p.Alloc(8); err != nil {
+		t.Fatalf("first /8: %v", err)
+	}
+	if _, err := p.Alloc(8); err == nil {
+		t.Fatal("expected exhaustion for second /8")
+	}
+	// Smaller blocks still succeed from the remaining supernets.
+	if _, err := p.Alloc(24); err != nil {
+		t.Fatalf("/24 after /8 exhaustion: %v", err)
+	}
+}
+
+func TestAllocCrossesIntoNextSupernet(t *testing.T) {
+	small := []netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/24"),
+		netip.MustParsePrefix("172.16.0.0/24"),
+	}
+	p := NewPool([]netip.Prefix{netip.MustParsePrefix("10.0.0.0/24")}, small)
+	got, err := p.Alloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != netip.MustParsePrefix("172.16.0.0/24") {
+		t.Fatalf("expected fallback to second supernet, got %v", got)
+	}
+}
+
+func TestNextBlock(t *testing.T) {
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	n, ok := nextBlock(p)
+	if !ok || n != netip.MustParsePrefix("10.0.1.0/24") {
+		t.Fatalf("nextBlock(%v) = %v, %v", p, n, ok)
+	}
+	last := netip.MustParsePrefix("255.255.255.0/24")
+	if _, ok := nextBlock(last); ok {
+		t.Fatalf("expected end of space after %v", last)
+	}
+}

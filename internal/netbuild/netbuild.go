@@ -1,0 +1,219 @@
+// Package netbuild contains the low-level configuration editing shared by
+// the evaluation-network generators (internal/netgen) and the anonymizer
+// (internal/anonymize): creating point-to-point links, attaching host LANs,
+// and registering new subnets with whatever routing protocols the touched
+// devices run.
+//
+// Everything here strictly *adds* configuration — interfaces, network
+// statements, neighbor statements — never edits or removes existing lines,
+// which is the mechanical half of ConfMask's functional-equivalence
+// guarantee.
+package netbuild
+
+import (
+	"fmt"
+	"net/netip"
+
+	"confmask/internal/config"
+	"confmask/internal/netaddr"
+)
+
+// LinkOpts controls AddP2PLink.
+type LinkOpts struct {
+	// CostA/CostB set `ip ospf cost` on the two new interfaces; 0 leaves
+	// the default cost.
+	CostA, CostB int
+	// Injected marks the new interfaces as anonymization artifacts
+	// (bookkeeping only; never rendered).
+	Injected bool
+	// NoProtocol suppresses protocol registration (interfaces only).
+	NoProtocol bool
+}
+
+// AddP2PLink allocates a fresh /31 from pool and configures matching
+// interfaces on devices a and b. The subnet is registered with the routing
+// protocols of both devices: OSPF/RIP network statements when both ends run
+// the same IGP and are in the same BGP AS (or no BGP); eBGP neighbor
+// statements in both directions when the devices are BGP speakers of
+// different ASes.
+func AddP2PLink(cfg *config.Network, pool *netaddr.Pool, a, b string, opts LinkOpts) (netip.Prefix, error) {
+	da := cfg.Device(a)
+	db := cfg.Device(b)
+	if da == nil || db == nil {
+		return netip.Prefix{}, fmt.Errorf("netbuild: unknown device %q or %q", a, b)
+	}
+	pfx, addrA, addrB, err := pool.AllocP2P()
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	ifA := &config.Interface{
+		Name:        da.NextInterfaceName(),
+		Addr:        netip.PrefixFrom(addrA, 31),
+		Description: "to-" + b,
+		OSPFCost:    opts.CostA,
+		Injected:    opts.Injected,
+	}
+	ifB := &config.Interface{
+		Name:        db.NextInterfaceName(),
+		Addr:        netip.PrefixFrom(addrB, 31),
+		Description: "to-" + a,
+		OSPFCost:    opts.CostB,
+		Injected:    opts.Injected,
+	}
+	da.Interfaces = append(da.Interfaces, ifA)
+	db.Interfaces = append(db.Interfaces, ifB)
+	if opts.NoProtocol {
+		return pfx, nil
+	}
+
+	crossAS := da.BGP != nil && db.BGP != nil && da.BGP.ASN != db.BGP.ASN
+	if crossAS {
+		da.BGP.Neighbors = append(da.BGP.Neighbors, &config.BGPNeighbor{Addr: addrB, RemoteAS: db.BGP.ASN})
+		db.BGP.Neighbors = append(db.BGP.Neighbors, &config.BGPNeighbor{Addr: addrA, RemoteAS: da.BGP.ASN})
+		return pfx, nil
+	}
+	registerIGP(da, pfx)
+	registerIGP(db, pfx)
+	return pfx, nil
+}
+
+// registerIGP adds a network statement for pfx to the device's IGP.
+func registerIGP(d *config.Device, pfx netip.Prefix) {
+	switch {
+	case d.OSPF != nil:
+		d.OSPF.Networks = append(d.OSPF.Networks, pfx)
+	case d.EIGRP != nil:
+		d.EIGRP.Networks = append(d.EIGRP.Networks, pfx)
+	case d.RIP != nil:
+		d.RIP.Networks = append(d.RIP.Networks, pfx)
+	}
+}
+
+// HostOpts controls AddHostLAN.
+type HostOpts struct {
+	// Injected marks the new host and interfaces as anonymization
+	// artifacts.
+	Injected bool
+	// AdvertiseBGP additionally originates the LAN from the router's BGP
+	// process (required for inter-AS reachability of the host).
+	AdvertiseBGP bool
+}
+
+// AddHostLAN allocates a fresh /24, creates host device hostname attached
+// to router, and registers the LAN with the router's IGP (and BGP when
+// requested). It returns the LAN prefix.
+func AddHostLAN(cfg *config.Network, pool *netaddr.Pool, hostname, router string, opts HostOpts) (netip.Prefix, error) {
+	r := cfg.Device(router)
+	if r == nil {
+		return netip.Prefix{}, fmt.Errorf("netbuild: unknown router %q", router)
+	}
+	if cfg.Device(hostname) != nil {
+		return netip.Prefix{}, fmt.Errorf("netbuild: device %q already exists", hostname)
+	}
+	pfx, gw, hostIP, err := pool.AllocLAN()
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	r.Interfaces = append(r.Interfaces, &config.Interface{
+		Name:        r.NextInterfaceName(),
+		Addr:        netip.PrefixFrom(gw, pfx.Bits()),
+		Description: "to-" + hostname,
+		Injected:    opts.Injected,
+	})
+	registerIGP(r, pfx)
+	if opts.AdvertiseBGP && r.BGP != nil {
+		r.BGP.Networks = append(r.BGP.Networks, pfx)
+	}
+	h := &config.Device{
+		Hostname: hostname,
+		Kind:     config.HostKind,
+		Interfaces: []*config.Interface{{
+			Name:     "eth0",
+			Addr:     netip.PrefixFrom(hostIP, pfx.Bits()),
+			Injected: opts.Injected,
+		}},
+		Statics: []config.StaticRoute{{
+			Prefix:  netip.MustParsePrefix("0.0.0.0/0"),
+			NextHop: gw,
+		}},
+	}
+	cfg.Add(h)
+	return pfx, nil
+}
+
+// AddExternalDestination originates an external equivalence-class prefix
+// (§9 "Internet hosts") at a BGP-speaking router: a fresh /24 anchored by
+// a Null0 discard static and announced via a BGP network statement — the
+// standard way operators originate aggregates they do not host.
+func AddExternalDestination(cfg *config.Network, pool *netaddr.Pool, router string) (netip.Prefix, error) {
+	d := cfg.Device(router)
+	if d == nil {
+		return netip.Prefix{}, fmt.Errorf("netbuild: unknown router %q", router)
+	}
+	if d.BGP == nil {
+		return netip.Prefix{}, fmt.Errorf("netbuild: external destinations require a BGP speaker (got %q)", router)
+	}
+	pfx, err := pool.Alloc(24)
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	d.Statics = append(d.Statics, config.StaticRoute{Prefix: pfx, Discard: true})
+	d.BGP.Networks = append(d.BGP.Networks, pfx)
+	return pfx, nil
+}
+
+// EnsureIBGPMesh adds the missing iBGP neighbor statements so that the BGP
+// speakers within each AS form a full mesh. Sessions target the peer's
+// first addressed interface. Existing sessions are kept; only absent ones
+// are added.
+func EnsureIBGPMesh(cfg *config.Network) {
+	byAS := make(map[int][]string)
+	for _, r := range cfg.Routers() {
+		if d := cfg.Device(r); d.BGP != nil {
+			byAS[d.BGP.ASN] = append(byAS[d.BGP.ASN], r)
+		}
+	}
+	for asn, members := range byAS {
+		for _, a := range members {
+			da := cfg.Device(a)
+			for _, b := range members {
+				if a == b {
+					continue
+				}
+				db := cfg.Device(b)
+				peerAddr := firstAddr(db)
+				if !peerAddr.IsValid() {
+					continue
+				}
+				if hasNeighbor(da.BGP, peerAddr) {
+					continue
+				}
+				da.BGP.Neighbors = append(da.BGP.Neighbors, &config.BGPNeighbor{Addr: peerAddr, RemoteAS: asn})
+			}
+		}
+	}
+}
+
+func firstAddr(d *config.Device) netip.Addr {
+	for _, i := range d.Interfaces {
+		if i.Addr.IsValid() {
+			return i.Addr.Addr()
+		}
+	}
+	return netip.Addr{}
+}
+
+func hasNeighbor(b *config.BGP, addr netip.Addr) bool {
+	for _, nb := range b.Neighbors {
+		if nb.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// PoolFor returns a prefix pool that avoids every prefix already used by
+// the network's configurations.
+func PoolFor(cfg *config.Network) *netaddr.Pool {
+	return netaddr.NewPool(cfg.UsedPrefixes(), nil)
+}

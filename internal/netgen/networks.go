@@ -1,0 +1,239 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"confmask/internal/config"
+)
+
+// Spec identifies one evaluation network of the paper's Table 2.
+type Spec struct {
+	ID    string // "A".."H"
+	Name  string
+	Type  string // "BGP+OSPF" or "OSPF"
+	Build func() (*config.Network, error)
+}
+
+// Catalog returns the eight evaluation networks in Table 2 order.
+//
+// Networks A–C substitute synthetic BGP+OSPF configurations for the
+// paper's proprietary enterprise/university/backbone files at the same
+// router/host/edge counts; D–F substitute deterministic generators for
+// the Topology Zoo graphs (Bics, Columbus, USCarrier) at the same scale;
+// G–H are fat-trees (see DESIGN.md).
+func Catalog() []Spec {
+	return []Spec{
+		{ID: "A", Name: "Enterprise", Type: "BGP+OSPF", Build: Enterprise},
+		{ID: "B", Name: "University", Type: "BGP+OSPF", Build: University},
+		{ID: "C", Name: "Backbone", Type: "BGP+OSPF", Build: Backbone},
+		{ID: "D", Name: "Bics", Type: "OSPF", Build: Bics},
+		{ID: "E", Name: "Columbus", Type: "OSPF", Build: Columbus},
+		{ID: "F", Name: "USCarrier", Type: "OSPF", Build: USCarrier},
+		{ID: "G", Name: "FatTree04", Type: "OSPF", Build: FatTree04},
+		{ID: "H", Name: "FatTree08", Type: "OSPF", Build: FatTree08},
+	}
+}
+
+// SmallCatalog returns the networks small enough for quick experiments and
+// CI-speed tests (A–C plus the fat-trees).
+func SmallCatalog() []Spec {
+	all := Catalog()
+	return []Spec{all[0], all[1], all[2], all[6]}
+}
+
+// ByID returns the catalog entry with the given ID.
+func ByID(id string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.ID == id || s.Name == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("netgen: unknown network %q", id)
+}
+
+// Enterprise is network A: 10 routers, 8 hosts, 26 links over 3 ASes.
+func Enterprise() (*config.Network, error) {
+	b := NewBuilder(BGPOSPF)
+	for i := 1; i <= 4; i++ {
+		b.RouterAS(fmt.Sprintf("r%d", i), 65001)
+	}
+	for i := 5; i <= 7; i++ {
+		b.RouterAS(fmt.Sprintf("r%d", i), 65002)
+	}
+	for i := 8; i <= 10; i++ {
+		b.RouterAS(fmt.Sprintf("r%d", i), 65003)
+	}
+	// Intra-AS (11 links).
+	b.Link("r1", "r2").LinkCost("r2", "r3", 5, 5).Link("r3", "r4").Link("r4", "r1").LinkCost("r1", "r3", 1, 1)
+	b.Link("r5", "r6").Link("r6", "r7").LinkCost("r5", "r7", 20, 20)
+	b.Link("r8", "r9").Link("r9", "r10").Link("r8", "r10")
+	// Inter-AS (7 links).
+	b.Link("r4", "r5").Link("r7", "r8").Link("r10", "r1").Link("r3", "r6")
+	b.Link("r2", "r9").Link("r6", "r9").Link("r4", "r8")
+	// Hosts (8).
+	b.Host("h1", "r1").Host("h2", "r2").Host("h3", "r5").Host("h4", "r6")
+	b.Host("h5", "r7").Host("h6", "r8").Host("h7", "r9").Host("h8", "r10")
+	return b.Build()
+}
+
+// University is network B: 13 routers, 8 hosts, 25 links over 3 ASes.
+func University() (*config.Network, error) {
+	b := NewBuilder(BGPOSPF)
+	for i := 1; i <= 5; i++ {
+		b.RouterAS(fmt.Sprintf("r%d", i), 65010)
+	}
+	for i := 6; i <= 9; i++ {
+		b.RouterAS(fmt.Sprintf("r%d", i), 65020)
+	}
+	for i := 10; i <= 13; i++ {
+		b.RouterAS(fmt.Sprintf("r%d", i), 65030)
+	}
+	// Intra-AS (11 links).
+	b.Link("r1", "r2").Link("r2", "r3").LinkCost("r3", "r4", 2, 2).Link("r4", "r5").Link("r5", "r1")
+	b.Link("r6", "r7").Link("r7", "r8").Link("r8", "r9")
+	b.Link("r10", "r11").LinkCost("r11", "r12", 5, 5).Link("r12", "r13")
+	// Inter-AS (6 links).
+	b.Link("r1", "r6").Link("r2", "r7").Link("r3", "r10").Link("r4", "r11").Link("r5", "r9").Link("r13", "r6")
+	// Hosts (8).
+	b.Host("h1", "r2").Host("h2", "r4").Host("h3", "r6").Host("h4", "r8")
+	b.Host("h5", "r10").Host("h6", "r12").Host("h7", "r13").Host("h8", "r7")
+	return b.Build()
+}
+
+// Backbone is network C: 11 routers, 9 hosts, 22 links over 3 ASes.
+func Backbone() (*config.Network, error) {
+	b := NewBuilder(BGPOSPF)
+	for i := 1; i <= 4; i++ {
+		b.RouterAS(fmt.Sprintf("r%d", i), 65100)
+	}
+	for i := 5; i <= 8; i++ {
+		b.RouterAS(fmt.Sprintf("r%d", i), 65200)
+	}
+	for i := 9; i <= 11; i++ {
+		b.RouterAS(fmt.Sprintf("r%d", i), 65300)
+	}
+	// Intra-AS (10 links).
+	b.Link("r1", "r2").Link("r2", "r3").Link("r3", "r4").LinkCost("r4", "r1", 3, 3)
+	b.Link("r5", "r6").Link("r6", "r7").Link("r7", "r8").Link("r8", "r5")
+	b.Link("r9", "r10").Link("r10", "r11")
+	// Inter-AS (3 links).
+	b.Link("r4", "r5").Link("r8", "r9").Link("r11", "r1")
+	// Hosts (9).
+	b.Host("h1", "r1").Host("h2", "r2").Host("h3", "r3").Host("h4", "r5").Host("h5", "r6")
+	b.Host("h6", "r7").Host("h7", "r9").Host("h8", "r10").Host("h9", "r11")
+	return b.Build()
+}
+
+// Bics is network D: 49 routers, 98 hosts, 162 links (zoo-scale, OSPF).
+func Bics() (*config.Network, error) { return zooNet(49, 64, 98, 0xB1C5) }
+
+// Columbus is network E: 86 routers, 68 hosts, 169 links.
+func Columbus() (*config.Network, error) { return zooNet(86, 101, 68, 0xC0) }
+
+// USCarrier is network F: 161 routers, 58 hosts, 378 links.
+func USCarrier() (*config.Network, error) { return zooNet(161, 320, 58, 0x05CA) }
+
+// zooNet deterministically generates an OSPF network shaped like a
+// Topology Zoo carrier graph: a ring backbone (every zoo graph is
+// connected and sparse) plus random chords up to the target link count,
+// with a mix of link costs, and hosts spread round-robin across routers.
+func zooNet(routers, rrLinks, hosts int, seed int64) (*config.Network, error) {
+	if rrLinks < routers {
+		return nil, fmt.Errorf("netgen: need at least %d router links for a ring, got %d", routers, rrLinks)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(OSPF)
+	names := make([]string, routers)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%03d", i)
+		b.Router(names[i])
+	}
+	type pair struct{ a, b int }
+	used := make(map[pair]bool)
+	addLink := func(i, j int, cost int) {
+		if i > j {
+			i, j = j, i
+		}
+		used[pair{i, j}] = true
+		b.LinkCost(names[i], names[j], cost, cost)
+	}
+	costs := []int{0, 0, 1, 5, 20}
+	for i := 0; i < routers; i++ {
+		addLink(i, (i+1)%routers, costs[rng.Intn(len(costs))])
+	}
+	// Chords are biased toward a small hub set, giving the degree-skewed
+	// structure of real carrier graphs (a few POPs concentrate links) —
+	// which is what makes k-degree anonymization non-trivial.
+	hubs := routers/12 + 2
+	for added := routers; added < rrLinks; {
+		i := rng.Intn(routers)
+		j := rng.Intn(routers)
+		if rng.Float64() < 0.6 {
+			j = rng.Intn(hubs) * (routers / hubs)
+		}
+		if i == j {
+			continue
+		}
+		a, c := i, j
+		if a > c {
+			a, c = c, a
+		}
+		if used[pair{a, c}] {
+			continue
+		}
+		addLink(i, j, costs[rng.Intn(len(costs))])
+		added++
+	}
+	for h := 0; h < hosts; h++ {
+		b.Host(fmt.Sprintf("h%03d", h), names[h%routers])
+	}
+	return b.Build()
+}
+
+// FatTree04 is network G: a k=4 fat-tree — 4 core, 8 aggregation, and
+// 8 edge routers (20 total), 16 hosts, 48 links.
+func FatTree04() (*config.Network, error) { return fatTree(4, 4) }
+
+// FatTree08 is network H: an 8-pod fat-tree with 8 core routers — 72
+// routers, 64 hosts, 320 links, matching the paper's Table 2 counts.
+func FatTree08() (*config.Network, error) { return fatTree(8, 8) }
+
+// fatTree builds a fat-tree with the given pod count and core count. Each
+// pod has pods/2 aggregation and pods/2 edge routers; every edge router
+// connects to every aggregation router in its pod; aggregation router p
+// (position within pod) connects to cores (2p+c) mod cores for
+// c ∈ 0..cores/2−1; every edge router hosts two end hosts.
+func fatTree(pods, cores int) (*config.Network, error) {
+	b := NewBuilder(OSPF)
+	half := pods / 2
+	for c := 0; c < cores; c++ {
+		b.Router(fmt.Sprintf("core%d", c))
+	}
+	for p := 0; p < pods; p++ {
+		for i := 0; i < half; i++ {
+			b.Router(fmt.Sprintf("agg%d-%d", p, i))
+			b.Router(fmt.Sprintf("edge%d-%d", p, i))
+		}
+	}
+	coreLinks := cores / 2
+	for p := 0; p < pods; p++ {
+		for i := 0; i < half; i++ {
+			agg := fmt.Sprintf("agg%d-%d", p, i)
+			for j := 0; j < half; j++ {
+				b.Link(fmt.Sprintf("edge%d-%d", p, j), agg)
+			}
+			for c := 0; c < coreLinks; c++ {
+				b.Link(agg, fmt.Sprintf("core%d", (2*i+c)%cores))
+			}
+		}
+	}
+	for p := 0; p < pods; p++ {
+		for i := 0; i < half; i++ {
+			edge := fmt.Sprintf("edge%d-%d", p, i)
+			b.Host(fmt.Sprintf("h%d-%d-0", p, i), edge)
+			b.Host(fmt.Sprintf("h%d-%d-1", p, i), edge)
+		}
+	}
+	return b.Build()
+}

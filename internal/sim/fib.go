@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"net/netip"
+
+	"confmask/internal/config"
+)
+
+// Simulate builds the network view from cfg and computes every device's
+// FIB: connected and static routes plus OSPF, RIP, and BGP, merged by
+// administrative distance. It is the ConfMask pipeline's replacement for a
+// Batfish dataplane computation.
+func Simulate(cfg *config.Network) (*Snapshot, error) {
+	n, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return SimulateNet(n), nil
+}
+
+// SimulateNet computes FIBs over an already-built network view. The view
+// must not be mutated between calls; anonymization stages rebuild it after
+// changing configurations.
+func SimulateNet(n *Net) *Snapshot {
+	igp := n.runOSPF()
+	rip := n.runRIP()
+	eigrp := n.runEIGRP()
+	bgp := n.runBGP(igp)
+
+	snap := &Snapshot{Net: n, FIBs: make(map[string]FIB, len(n.Cfg.Devices)), OSPFDist: igp.dist}
+	for _, name := range n.Cfg.Names() {
+		d := n.Cfg.Device(name)
+		fib := make(FIB)
+
+		install := func(r *Route) {
+			if len(r.NextHops) == 0 {
+				return
+			}
+			cur, ok := fib[r.Prefix]
+			if !ok || r.Source < cur.Source {
+				fib[r.Prefix] = r
+			}
+		}
+
+		// Connected routes: one per addressed interface subnet, with the
+		// far ends of matching links as next hops.
+		for _, i := range d.Interfaces {
+			if !i.Addr.IsValid() {
+				continue
+			}
+			p := i.Addr.Masked()
+			var nhs []NextHop
+			for _, l := range n.linksOf[name] {
+				if l.Prefix != p {
+					continue
+				}
+				local, _ := l.Local(name)
+				if local.Iface != i.Name {
+					continue
+				}
+				other, _ := l.Other(name)
+				nhs = append(nhs, NextHop{Device: other.Device, Iface: i.Name})
+			}
+			if len(nhs) > 0 {
+				install(&Route{Prefix: p, Source: SrcConnected, NextHops: sortNextHops(nhs)})
+			}
+		}
+
+		// Static routes: resolve the next-hop address to a directly
+		// connected neighbor. Null0 routes install as discard entries —
+		// the anchor operators use to originate aggregates and external
+		// equivalence-class prefixes into BGP.
+		for _, s := range d.Statics {
+			if s.Discard {
+				install(&Route{Prefix: s.Prefix, Source: SrcStatic, NextHops: []NextHop{{Device: DiscardDevice, Iface: "Null0"}}})
+				continue
+			}
+			if nh, ok := n.resolveDirect(name, s.NextHop); ok {
+				install(&Route{Prefix: s.Prefix, Source: SrcStatic, NextHops: []NextHop{nh}})
+			}
+		}
+
+		if d.Kind == config.RouterKind {
+			for _, r := range bgp.bgpFIBRoutes(n, igp, name) {
+				install(r)
+			}
+			for _, r := range eigrp[name] {
+				install(r)
+			}
+			for _, r := range igp.routes[name] {
+				install(r)
+			}
+			for _, r := range rip[name] {
+				install(r)
+			}
+		}
+		snap.FIBs[name] = fib
+	}
+	return snap
+}
+
+// resolveDirect finds the link of dev whose far-end address equals addr.
+func (n *Net) resolveDirect(dev string, addr netip.Addr) (NextHop, bool) {
+	for _, l := range n.linksOf[dev] {
+		other, _ := l.Other(dev)
+		if other.Addr == addr {
+			local, _ := l.Local(dev)
+			return NextHop{Device: other.Device, Iface: local.Iface}, true
+		}
+	}
+	return NextHop{}, false
+}

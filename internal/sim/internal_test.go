@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"confmask/internal/config"
+)
+
+func TestWGraphDijkstra(t *testing.T) {
+	g := newWGraph()
+	g.add("a", "b", 1, nil)
+	g.add("b", "c", 2, nil)
+	g.add("a", "c", 10, nil)
+	g.add("c", "d", 1, nil)
+	dist := g.dijkstra("a")
+	want := map[string]int{"a": 0, "b": 1, "c": 3, "d": 4}
+	for n, d := range want {
+		if dist[n] != d {
+			t.Fatalf("dist[%s] = %d, want %d", n, dist[n], d)
+		}
+	}
+	if _, ok := dist["missing"]; ok {
+		t.Fatal("unreachable node present")
+	}
+}
+
+func TestWGraphDijkstraAsymmetric(t *testing.T) {
+	// Different costs per direction, as OSPF allows.
+	g := newWGraph()
+	g.add("a", "b", 1, nil)
+	g.add("b", "a", 7, nil)
+	if d := g.dijkstra("a")["b"]; d != 1 {
+		t.Fatalf("a→b = %d", d)
+	}
+	if d := g.dijkstra("b")["a"]; d != 7 {
+		t.Fatalf("b→a = %d", d)
+	}
+}
+
+func TestWGraphAllPairsIncludesExtras(t *testing.T) {
+	g := newWGraph()
+	g.add("a", "b", 1, nil)
+	ap := g.allPairs([]string{"isolated"})
+	if _, ok := ap["isolated"]; !ok {
+		t.Fatal("extra source missing")
+	}
+	if len(ap["isolated"]) != 1 { // itself only
+		t.Fatalf("isolated reaches %v", ap["isolated"])
+	}
+}
+
+func TestSortNextHopsDedup(t *testing.T) {
+	in := []NextHop{
+		{Device: "b", Iface: "i1"},
+		{Device: "a", Iface: "i2"},
+		{Device: "b", Iface: "i1"},
+		{Device: "a", Iface: "i1"},
+	}
+	got := sortNextHops(in)
+	if len(got) != 3 {
+		t.Fatalf("dedup failed: %v", got)
+	}
+	if got[0] != (NextHop{Device: "a", Iface: "i1"}) || got[2] != (NextHop{Device: "b", Iface: "i1"}) {
+		t.Fatalf("order wrong: %v", got)
+	}
+}
+
+// Property: sortNextHops is idempotent and never grows the slice.
+func TestSortNextHopsProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		in := make([]NextHop, 0, len(raw))
+		for _, v := range raw {
+			in = append(in, NextHop{Device: string(rune('a' + v%5)), Iface: string(rune('x' + v%3))})
+		}
+		once := sortNextHops(append([]NextHop(nil), in...))
+		twice := sortNextHops(append([]NextHop(nil), once...))
+		if len(once) > len(in) || len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBGPBetterDecisionOrder(t *testing.T) {
+	n := &Net{Cfg: config.NewNetwork()}
+	igp := &ospfState{dist: map[string]map[string]int{
+		"r": {"near": 1, "far": 9},
+	}}
+	short := bgpRoute{asPath: []int{1}}
+	long := bgpRoute{asPath: []int{1, 2}}
+	if !bgpBetter(n, igp, "r", short, long) || bgpBetter(n, igp, "r", long, short) {
+		t.Fatal("AS-path length must dominate")
+	}
+	ebgp := bgpRoute{asPath: []int{1}, fromIBGP: false, peer: "x"}
+	ibgp := bgpRoute{asPath: []int{1}, fromIBGP: true, peer: "near"}
+	if !bgpBetter(n, igp, "r", ebgp, ibgp) {
+		t.Fatal("eBGP must beat iBGP at equal path length")
+	}
+	nearR := bgpRoute{asPath: []int{1}, fromIBGP: true, peer: "near"}
+	farR := bgpRoute{asPath: []int{1}, fromIBGP: true, peer: "far"}
+	if !bgpBetter(n, igp, "r", nearR, farR) {
+		t.Fatal("lower IGP metric to egress must win")
+	}
+	a := bgpRoute{asPath: []int{1}, peer: "p1", peerID: netip.MustParseAddr("1.1.1.1")}
+	b := bgpRoute{asPath: []int{1}, peer: "p2", peerID: netip.MustParseAddr("2.2.2.2")}
+	if !bgpBetter(n, igp, "r", a, b) || bgpBetter(n, igp, "r", b, a) {
+		t.Fatal("router-ID tiebreak wrong")
+	}
+}
+
+func TestAdvertiseRules(t *testing.T) {
+	origin := bgpRoute{prefix: netip.MustParsePrefix("10.1.0.0/24"), peer: ""}
+	// eBGP prepends the sender AS.
+	out, ok := advertise(origin, 65001, true, "s")
+	if !ok || len(out.asPath) != 1 || out.asPath[0] != 65001 || out.fromIBGP {
+		t.Fatalf("eBGP advertise = %+v", out)
+	}
+	// iBGP propagates local/eBGP-learned routes with next-hop-self.
+	out, ok = advertise(origin, 65001, false, "s")
+	if !ok || !out.fromIBGP || out.peer != "s" || len(out.asPath) != 0 {
+		t.Fatalf("iBGP advertise = %+v", out)
+	}
+	// iBGP-learned routes are NOT re-advertised over iBGP.
+	if _, ok := advertise(bgpRoute{fromIBGP: true}, 65001, false, "s"); ok {
+		t.Fatal("iBGP re-advertisement must be suppressed")
+	}
+}
+
+func TestContainsAS(t *testing.T) {
+	if !containsAS([]int{1, 2, 3}, 2) || containsAS([]int{1, 3}, 2) || containsAS(nil, 1) {
+		t.Fatal("containsAS wrong")
+	}
+}
+
+func TestDeniesCache(t *testing.T) {
+	d := &config.Device{Hostname: "r"}
+	pl := d.EnsurePrefixList("L")
+	p1 := netip.MustParsePrefix("10.1.0.0/24")
+	p2 := netip.MustParsePrefix("10.2.0.0/24")
+	pl.Deny(p1)
+	pl.Rules = append(pl.Rules, config.PrefixRule{Seq: 100, Prefix: netip.MustParsePrefix("0.0.0.0/0"), Le: 32})
+	n := &Net{}
+	if !n.denies(d, "L", p1) {
+		t.Fatal("deny missed")
+	}
+	if n.denies(d, "L", p2) {
+		t.Fatal("phantom deny")
+	}
+	if n.denies(d, "MISSING", p1) {
+		t.Fatal("missing list denied")
+	}
+	// Cached decision stays stable.
+	if !n.denies(d, "L", p1) || n.denies(d, "L", p2) {
+		t.Fatal("cache inconsistent")
+	}
+}
+
+func TestRouteSourceOrderMatchesAdminDistance(t *testing.T) {
+	order := []Source{SrcConnected, SrcStatic, SrcEBGP, SrcEIGRP, SrcOSPF, SrcRIP, SrcIBGP}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("source order broken at %v", order[i])
+		}
+	}
+	names := map[Source]string{
+		SrcConnected: "connected", SrcStatic: "static", SrcEBGP: "ebgp",
+		SrcEIGRP: "eigrp", SrcOSPF: "ospf", SrcRIP: "rip", SrcIBGP: "ibgp",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestLinkAccessors(t *testing.T) {
+	l := &Link{
+		Prefix: netip.MustParsePrefix("10.0.0.0/31"),
+		A:      End{Device: "a", Iface: "ia"},
+		B:      End{Device: "b", Iface: "ib"},
+	}
+	if o, ok := l.Other("a"); !ok || o.Device != "b" {
+		t.Fatal("Other(a) wrong")
+	}
+	if o, ok := l.Local("b"); !ok || o.Iface != "ib" {
+		t.Fatal("Local(b) wrong")
+	}
+	if _, ok := l.Other("z"); ok {
+		t.Fatal("Other(z) should fail")
+	}
+	if _, ok := l.Local("z"); ok {
+		t.Fatal("Local(z) should fail")
+	}
+}
+
+func TestPathStatusStrings(t *testing.T) {
+	if Delivered.String() != "delivered" || Looped.String() != "looped" || BlackHoled.String() != "blackholed" {
+		t.Fatal("status strings wrong")
+	}
+}
+
+func TestFIBPrefixesSorted(t *testing.T) {
+	f := make(FIB)
+	for _, s := range []string{"10.2.0.0/24", "10.1.0.0/24", "10.1.0.0/16"} {
+		p := netip.MustParsePrefix(s)
+		f[p] = &Route{Prefix: p}
+	}
+	ps := f.Prefixes()
+	if len(ps) != 3 || ps[0].String() != "10.1.0.0/16" || ps[2].String() != "10.2.0.0/24" {
+		t.Fatalf("prefixes = %v", ps)
+	}
+}

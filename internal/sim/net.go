@@ -1,0 +1,285 @@
+// Package sim is a from-scratch control-plane simulator for Cisco-IOS-style
+// configurations — the substitute for Batfish in the ConfMask pipeline.
+//
+// It recovers the layer-3 topology from interface prefixes, computes
+// per-router routing tables for OSPF (link-state SPF with ECMP), RIP
+// (distance-vector), and BGP (decision process over eBGP/iBGP sessions with
+// next-hop resolution through the intra-AS IGP), honors distribute-list
+// route filters, and extracts the data plane: every host-to-host forwarding
+// path, with equal-cost multipath fan-out, loop detection, and black-hole
+// detection.
+//
+// The paper's algorithms only need four Batfish queries — topology, FIB
+// entries, traceroute, and reachability — and this package answers exactly
+// those for the protocol subset ConfMask supports.
+package sim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"confmask/internal/config"
+	"confmask/internal/topology"
+)
+
+// End is one side of a link: a device, the interface used, and its address.
+type End struct {
+	Device string
+	Iface  string
+	Addr   netip.Addr
+}
+
+// Link is a point-to-point layer-3 adjacency recovered from two interfaces
+// configured in the same subnet.
+type Link struct {
+	Prefix netip.Prefix // the shared subnet, masked
+	A, B   End
+}
+
+// Other returns the far end of the link as seen from dev; ok is false when
+// dev is not an endpoint.
+func (l *Link) Other(dev string) (End, bool) {
+	switch dev {
+	case l.A.Device:
+		return l.B, true
+	case l.B.Device:
+		return l.A, true
+	default:
+		return End{}, false
+	}
+}
+
+// Local returns the near end of the link as seen from dev.
+func (l *Link) Local(dev string) (End, bool) {
+	switch dev {
+	case l.A.Device:
+		return l.A, true
+	case l.B.Device:
+		return l.B, true
+	default:
+		return End{}, false
+	}
+}
+
+// Net is the simulation view of a configuration set: devices plus the links
+// recovered from matching interface prefixes.
+type Net struct {
+	Cfg   *config.Network
+	Links []*Link
+
+	linksOf map[string][]*Link
+	// HostPrefix maps a host name to its LAN prefix; HostOfPrefix is the
+	// inverse. GatewayOf maps a host to its attached router.
+	HostPrefix   map[string]netip.Prefix
+	HostOfPrefix map[netip.Prefix]string
+	GatewayOf    map[string]string
+
+	// denyCache memoizes per-(device, prefix-list) deny decisions; the
+	// route computation consults filters once per candidate next hop, so
+	// linear rule scans would dominate on filter-heavy networks (e.g.
+	// the strawman-1 baseline). The cache is valid for the lifetime of
+	// this Net — configurations must not be mutated between Build and
+	// the simulation run, which the pipeline guarantees by rebuilding.
+	denyCache map[string]map[netip.Prefix]bool
+}
+
+// denies reports whether the named prefix list on the device denies p,
+// memoizing exact-match rule decisions.
+func (n *Net) denies(d *config.Device, list string, p netip.Prefix) bool {
+	key := d.Hostname + "\x00" + list
+	cached, ok := n.denyCache[key]
+	if !ok {
+		cached = make(map[netip.Prefix]bool)
+		if pl := d.PrefixList(list); pl != nil {
+			for _, r := range pl.Rules {
+				if r.Le > 0 {
+					continue // permit-any tails; never deny rules here
+				}
+				if _, seen := cached[r.Prefix]; !seen {
+					cached[r.Prefix] = r.Deny
+				}
+			}
+		}
+		if n.denyCache == nil {
+			n.denyCache = make(map[string]map[netip.Prefix]bool)
+		}
+		n.denyCache[key] = cached
+	}
+	return cached[p.Masked()]
+}
+
+// Build derives the simulation view from configurations. It returns an
+// error for malformed inputs: a host without exactly one addressed
+// interface or without an attached router.
+func Build(cfg *config.Network) (*Net, error) {
+	n := &Net{
+		Cfg:          cfg,
+		linksOf:      make(map[string][]*Link),
+		HostPrefix:   make(map[string]netip.Prefix),
+		HostOfPrefix: make(map[netip.Prefix]string),
+		GatewayOf:    make(map[string]string),
+	}
+
+	// Group addressed interfaces by their masked subnet.
+	type member struct {
+		dev   string
+		iface *config.Interface
+	}
+	groups := make(map[netip.Prefix][]member)
+	for _, name := range cfg.Names() {
+		d := cfg.Device(name)
+		for _, i := range d.Interfaces {
+			if !i.Addr.IsValid() {
+				continue
+			}
+			p := i.Addr.Masked()
+			groups[p] = append(groups[p], member{dev: name, iface: i})
+		}
+	}
+
+	// Each subnet with ≥2 members yields pairwise links (a multi-access
+	// segment becomes a clique, which preserves hop-by-hop reachability).
+	prefixes := make([]netip.Prefix, 0, len(groups))
+	for p := range groups {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if c := prefixes[i].Addr().Compare(prefixes[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return prefixes[i].Bits() < prefixes[j].Bits()
+	})
+	for _, p := range prefixes {
+		ms := groups[p]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].dev < ms[j].dev })
+		for i := 0; i < len(ms); i++ {
+			for j := i + 1; j < len(ms); j++ {
+				if ms[i].dev == ms[j].dev {
+					continue
+				}
+				l := &Link{
+					Prefix: p,
+					A:      End{Device: ms[i].dev, Iface: ms[i].iface.Name, Addr: ms[i].iface.Addr.Addr()},
+					B:      End{Device: ms[j].dev, Iface: ms[j].iface.Name, Addr: ms[j].iface.Addr.Addr()},
+				}
+				n.Links = append(n.Links, l)
+				n.linksOf[l.A.Device] = append(n.linksOf[l.A.Device], l)
+				n.linksOf[l.B.Device] = append(n.linksOf[l.B.Device], l)
+			}
+		}
+	}
+
+	// Host bookkeeping.
+	for _, h := range cfg.Hosts() {
+		d := cfg.Device(h)
+		var addr *config.Interface
+		for _, i := range d.Interfaces {
+			if i.Addr.IsValid() {
+				if addr != nil {
+					return nil, fmt.Errorf("sim: host %s has multiple addressed interfaces", h)
+				}
+				addr = i
+			}
+		}
+		if addr == nil {
+			return nil, fmt.Errorf("sim: host %s has no addressed interface", h)
+		}
+		p := addr.Addr.Masked()
+		n.HostPrefix[h] = p
+		if prev, dup := n.HostOfPrefix[p]; dup {
+			return nil, fmt.Errorf("sim: hosts %s and %s share prefix %v", prev, h, p)
+		}
+		n.HostOfPrefix[p] = h
+		gw := ""
+		for _, l := range n.linksOf[h] {
+			other, _ := l.Other(h)
+			if cfg.Device(other.Device).Kind == config.RouterKind {
+				gw = other.Device
+				break
+			}
+		}
+		if gw == "" {
+			return nil, fmt.Errorf("sim: host %s has no attached router", h)
+		}
+		n.GatewayOf[h] = gw
+	}
+	return n, nil
+}
+
+// LinksOf returns the links incident to a device.
+func (n *Net) LinksOf(dev string) []*Link { return n.linksOf[dev] }
+
+// LinkBetween returns a link connecting a and b, or nil. When several
+// parallel links exist the first (lowest subnet) is returned.
+func (n *Net) LinkBetween(a, b string) *Link {
+	for _, l := range n.linksOf[a] {
+		if o, ok := l.Other(a); ok && o.Device == b {
+			return l
+		}
+	}
+	return nil
+}
+
+// Topology returns the layer-3 topology graph: every device is a node and
+// every link an edge. This is exactly the graph an adversary reconstructs
+// by parsing interface prefixes (§2.2 of the paper).
+func (n *Net) Topology() *topology.Graph {
+	g := topology.New()
+	for _, name := range n.Cfg.Names() {
+		k := topology.Router
+		if n.Cfg.Device(name).Kind == config.HostKind {
+			k = topology.Host
+		}
+		g.AddNode(name, k)
+	}
+	for _, l := range n.Links {
+		_ = g.AddEdge(l.A.Device, l.B.Device)
+	}
+	return g
+}
+
+// ExternalDestinations returns the prefixes originated into routing via
+// discard (Null0) statics — the "Internet destination" routing
+// equivalence classes of the paper's §9: destinations that are not hosts
+// inside the network but whose routes the anonymization must preserve.
+// Sorted for determinism.
+func (n *Net) ExternalDestinations() []netip.Prefix {
+	seen := make(map[netip.Prefix]bool)
+	for _, name := range n.Cfg.Names() {
+		for _, s := range n.Cfg.Device(name).Statics {
+			if s.Discard && s.Prefix.Bits() > 0 {
+				seen[s.Prefix] = true
+			}
+		}
+	}
+	out := make([]netip.Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Addr().Compare(out[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+// RouterNeighbors returns, for a router, the set of adjacent routers in
+// sorted order (hosts excluded).
+func (n *Net) RouterNeighbors(r string) []string {
+	seen := make(map[string]bool)
+	for _, l := range n.linksOf[r] {
+		o, _ := l.Other(r)
+		if n.Cfg.Device(o.Device).Kind == config.RouterKind {
+			seen[o.Device] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"net/netip"
+
+	"confmask/internal/config"
+)
+
+// ospfEnabled reports whether an interface participates in the device's
+// OSPF process: a network statement must cover the interface address
+// (Cisco network+wildcard matching).
+func ospfEnabled(d *config.Device, i *config.Interface) bool {
+	if d.OSPF == nil || !i.Addr.IsValid() {
+		return false
+	}
+	for _, nw := range d.OSPF.Networks {
+		if nw.Contains(i.Addr.Addr()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ospfLinkEnabled reports whether a router-router link runs OSPF: both
+// endpoint interfaces must be enabled.
+func (n *Net) ospfLinkEnabled(l *Link) bool {
+	da := n.Cfg.Device(l.A.Device)
+	db := n.Cfg.Device(l.B.Device)
+	if da.Kind != config.RouterKind || db.Kind != config.RouterKind {
+		return false
+	}
+	ia := da.Interface(l.A.Iface)
+	ib := db.Interface(l.B.Iface)
+	return ia != nil && ib != nil && ospfEnabled(da, ia) && ospfEnabled(db, ib)
+}
+
+// ospfState is the computed link-state view shared by FIB construction and
+// BGP next-hop resolution.
+type ospfState struct {
+	// dist[r][x] is the SPF distance between routers in the same OSPF
+	// domain; routers in different domains are mutually unreachable.
+	dist map[string]map[string]int
+	// graph is the directed cost graph over OSPF adjacencies.
+	graph *wgraph
+	// routes[r][p] is the OSPF route of router r to prefix p.
+	routes map[string]map[netip.Prefix]*Route
+}
+
+// runOSPF computes OSPF routes for every OSPF-speaking router.
+//
+// Filters (distribute-list in on an interface) remove the corresponding
+// next-hop candidates at RIB-installation time on the filtering router
+// only; the link-state database itself is unaffected, matching IOS
+// semantics and the "edge is rejected" clause of the paper's SFE
+// conditions for link-state protocols.
+func (n *Net) runOSPF() *ospfState {
+	st := &ospfState{
+		dist:   make(map[string]map[string]int),
+		graph:  newWGraph(),
+		routes: make(map[string]map[netip.Prefix]*Route),
+	}
+
+	var speakers []string
+	for _, r := range n.Cfg.Routers() {
+		if n.Cfg.Device(r).OSPF != nil {
+			speakers = append(speakers, r)
+		}
+	}
+	if len(speakers) == 0 {
+		return st
+	}
+
+	// Directed cost graph over enabled router-router links.
+	for _, l := range n.Links {
+		if !n.ospfLinkEnabled(l) {
+			continue
+		}
+		ia := n.Cfg.Device(l.A.Device).Interface(l.A.Iface)
+		ib := n.Cfg.Device(l.B.Device).Interface(l.B.Iface)
+		st.graph.add(l.A.Device, l.B.Device, ia.Cost(), l)
+		st.graph.add(l.B.Device, l.A.Device, ib.Cost(), l)
+	}
+	st.dist = st.graph.allPairs(speakers)
+
+	// Advertised stub prefixes: every enabled connected interface prefix,
+	// at the advertising interface's cost.
+	type adv struct {
+		router string
+		cost   int
+	}
+	advs := make(map[netip.Prefix][]adv)
+	for _, r := range speakers {
+		d := n.Cfg.Device(r)
+		for _, i := range d.Interfaces {
+			if ospfEnabled(d, i) {
+				p := i.Addr.Masked()
+				advs[p] = append(advs[p], adv{router: r, cost: i.Cost()})
+			}
+		}
+	}
+
+	// distP[p][r]: cheapest cost from router r to prefix p.
+	distP := make(map[netip.Prefix]map[string]int, len(advs))
+	for p, as := range advs {
+		dp := make(map[string]int)
+		for _, a := range as {
+			for r, dr := range st.dist {
+				da, ok := st.dist[r][a.router]
+				_ = dr
+				if !ok {
+					continue
+				}
+				total := da + a.cost
+				if cur, ok := dp[r]; !ok || total < cur {
+					dp[r] = total
+				}
+			}
+		}
+		distP[p] = dp
+	}
+
+	// Per-router route computation with hop-by-hop candidate selection.
+	for _, r := range speakers {
+		d := n.Cfg.Device(r)
+		connected := make(map[netip.Prefix]bool)
+		for _, i := range d.Interfaces {
+			if i.Addr.IsValid() {
+				connected[i.Addr.Masked()] = true
+			}
+		}
+		table := make(map[netip.Prefix]*Route)
+		for p := range advs {
+			if connected[p] {
+				continue // connected route wins; OSPF never overrides it
+			}
+			best := -1
+			var nhs []NextHop
+			for _, l := range n.linksOf[r] {
+				if !n.ospfLinkEnabled(l) {
+					continue
+				}
+				local, _ := l.Local(r)
+				other, _ := l.Other(r)
+				dn, ok := distP[p][other.Device]
+				if !ok {
+					continue
+				}
+				li := d.Interface(local.Iface)
+				cand := li.Cost() + dn
+				if n.filterDeniesOSPF(d, local.Iface, p) {
+					continue
+				}
+				switch {
+				case best == -1 || cand < best:
+					best = cand
+					nhs = []NextHop{{Device: other.Device, Iface: local.Iface}}
+				case cand == best:
+					nhs = append(nhs, NextHop{Device: other.Device, Iface: local.Iface})
+				}
+			}
+			if best >= 0 {
+				table[p] = &Route{Prefix: p, Source: SrcOSPF, Metric: best, NextHops: sortNextHops(nhs)}
+			}
+		}
+		st.routes[r] = table
+	}
+	return st
+}
+
+// filterDeniesOSPF reports whether the device's OSPF inbound
+// distribute-list on iface denies prefix p.
+func (n *Net) filterDeniesOSPF(d *config.Device, iface string, p netip.Prefix) bool {
+	if d.OSPF == nil {
+		return false
+	}
+	name, ok := d.OSPF.InFilters[iface]
+	if !ok {
+		return false
+	}
+	return n.denies(d, name, p)
+}
+
+// nextHopsToRouter returns the OSPF first hops from router r toward router
+// dst (used for BGP recursive next-hop resolution). Filters do not apply:
+// resolution targets router-level reachability, not host prefixes.
+func (st *ospfState) nextHopsToRouter(n *Net, r, dst string) []NextHop {
+	if r == dst {
+		return nil
+	}
+	target, ok := st.dist[r][dst]
+	if !ok {
+		return nil
+	}
+	var nhs []NextHop
+	for _, a := range st.graph.arcs[r] {
+		dn, ok := st.dist[a.to][dst]
+		if !ok {
+			continue
+		}
+		if a.cost+dn == target {
+			local, _ := a.link.Local(r)
+			nhs = append(nhs, NextHop{Device: a.to, Iface: local.Iface})
+		}
+	}
+	return sortNextHops(nhs)
+}

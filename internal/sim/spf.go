@@ -1,0 +1,83 @@
+package sim
+
+import "container/heap"
+
+// arc is a directed weighted edge of the SPF graph. The cost is that of the
+// outgoing interface on the source router, matching OSPF semantics where
+// each direction of a link may carry a different cost.
+type arc struct {
+	to   string
+	cost int
+	link *Link
+}
+
+// wgraph is the weighted directed graph SPF runs on.
+type wgraph struct {
+	arcs map[string][]arc
+}
+
+func newWGraph() *wgraph {
+	return &wgraph{arcs: make(map[string][]arc)}
+}
+
+func (g *wgraph) add(from, to string, cost int, link *Link) {
+	g.arcs[from] = append(g.arcs[from], arc{to: to, cost: cost, link: link})
+}
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	node string
+	dist int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// dijkstra returns shortest-path distances from src to every reachable
+// node. Unreachable nodes are absent from the result.
+func (g *wgraph) dijkstra(src string) map[string]int {
+	dist := map[string]int{src: 0}
+	done := make(map[string]bool)
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, a := range g.arcs[it.node] {
+			nd := it.dist + a.cost
+			if cur, ok := dist[a.to]; !ok || nd < cur {
+				dist[a.to] = nd
+				heap.Push(q, pqItem{node: a.to, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// allPairs runs Dijkstra from every node that has outgoing arcs plus the
+// provided extra sources, returning dist[src][dst].
+func (g *wgraph) allPairs(extra []string) map[string]map[string]int {
+	out := make(map[string]map[string]int, len(g.arcs))
+	for n := range g.arcs {
+		out[n] = g.dijkstra(n)
+	}
+	for _, n := range extra {
+		if _, ok := out[n]; !ok {
+			out[n] = g.dijkstra(n)
+		}
+	}
+	return out
+}

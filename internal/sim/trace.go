@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// PathStatus classifies the outcome of a forwarding walk.
+type PathStatus int
+
+const (
+	// Delivered means the packet reached the destination host.
+	Delivered PathStatus = iota
+	// Looped means the walk revisited a device (a forwarding loop).
+	Looped
+	// BlackHoled means a device had no route to the destination.
+	BlackHoled
+)
+
+func (s PathStatus) String() string {
+	switch s {
+	case Delivered:
+		return "delivered"
+	case Looped:
+		return "looped"
+	case BlackHoled:
+		return "blackholed"
+	default:
+		return "unknown"
+	}
+}
+
+// Path is one forwarding path: the device sequence from source host toward
+// the destination, plus the walk outcome.
+type Path struct {
+	Hops   []string
+	Status PathStatus
+}
+
+// Key returns a canonical string for set comparisons.
+func (p Path) Key() string {
+	return p.Status.String() + ":" + strings.Join(p.Hops, ">")
+}
+
+// Ingress returns the first router on the path ("" if none).
+func (p Path) Ingress() string {
+	if len(p.Hops) >= 2 {
+		return p.Hops[1]
+	}
+	return ""
+}
+
+// Egress returns the last router on a delivered path ("" if none).
+func (p Path) Egress() string {
+	if p.Status == Delivered && len(p.Hops) >= 2 {
+		return p.Hops[len(p.Hops)-2]
+	}
+	if len(p.Hops) >= 1 && p.Status != Delivered {
+		return p.Hops[len(p.Hops)-1]
+	}
+	return ""
+}
+
+// maxTraceDepth bounds a single walk; maxTracePaths bounds the ECMP
+// fan-out collected per host pair.
+const (
+	maxTraceDepth = 64
+	maxTracePaths = 256
+)
+
+// Trace walks the FIBs from host src toward host dst and returns every
+// forwarding path (ECMP branches explored exhaustively up to
+// maxTracePaths), in canonical sorted order.
+func (s *Snapshot) Trace(src, dst string) []Path { return s.TraceFrom(src, dst) }
+
+// TraceFrom is Trace with an arbitrary starting device (host or router).
+// Algorithm 2 of the paper uses it to check which fake hosts remain
+// reachable *from each router* after noise filters are added.
+func (s *Snapshot) TraceFrom(start, dst string) []Path {
+	dstPfx, ok := s.Net.HostPrefix[dst]
+	if !ok {
+		return nil
+	}
+	dstAddr := hostAddr(s.Net, dst)
+	var out []Path
+	var walk func(cur string, hops []string, seen map[string]bool)
+	walk = func(cur string, hops []string, seen map[string]bool) {
+		if len(out) >= maxTracePaths {
+			return
+		}
+		hops = append(hops, cur)
+		if cur == dst {
+			out = append(out, Path{Hops: append([]string(nil), hops...), Status: Delivered})
+			return
+		}
+		if seen[cur] {
+			out = append(out, Path{Hops: append([]string(nil), hops...), Status: Looped})
+			return
+		}
+		if len(hops) > maxTraceDepth {
+			out = append(out, Path{Hops: append([]string(nil), hops...), Status: Looped})
+			return
+		}
+		seen[cur] = true
+		defer delete(seen, cur)
+		fib := s.FIBs[cur]
+		var rt *Route
+		if fib != nil {
+			// Host LANs are the most specific prefixes in our model, so
+			// an exact hit on the destination prefix IS the LPM result;
+			// the linear scan only runs for aggregated/default routes.
+			if exact := fib[dstPfx]; exact != nil {
+				rt = exact
+			} else {
+				rt = fib.Lookup(dstAddr)
+			}
+		}
+		if rt == nil || len(rt.NextHops) == 0 {
+			out = append(out, Path{Hops: append([]string(nil), hops...), Status: BlackHoled})
+			return
+		}
+		for _, nh := range rt.NextHops {
+			walk(nh.Device, hops, seen)
+		}
+	}
+	walk(start, nil, make(map[string]bool))
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// hostAddr returns the host's interface address.
+func hostAddr(n *Net, host string) netip.Addr {
+	d := n.Cfg.Device(host)
+	for _, i := range d.Interfaces {
+		if i.Addr.IsValid() {
+			return i.Addr.Addr()
+		}
+	}
+	return netip.Addr{}
+}
+
+// Pair identifies an ordered host pair.
+type Pair struct{ Src, Dst string }
+
+// DataPlane is the collection of all host-to-host routing paths — the DP of
+// the paper's formalization.
+type DataPlane struct {
+	Pairs map[Pair][]Path
+}
+
+// ExtractDataPlane traces every ordered pair of hosts in the network.
+func (s *Snapshot) ExtractDataPlane() *DataPlane {
+	return s.DataPlaneFor(s.Net.Cfg.Hosts())
+}
+
+// DataPlaneFor traces every ordered pair drawn from the given host list
+// (used to restrict the anonymized network's DP to real hosts).
+func (s *Snapshot) DataPlaneFor(hosts []string) *DataPlane {
+	dp := &DataPlane{Pairs: make(map[Pair][]Path, len(hosts)*(len(hosts)-1))}
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			dp.Pairs[Pair{Src: src, Dst: dst}] = s.Trace(src, dst)
+		}
+	}
+	return dp
+}
+
+// pathSetKey canonicalizes a path list for equality checks.
+func pathSetKey(ps []Path) string {
+	keys := make([]string, 0, len(ps))
+	for _, p := range ps {
+		keys = append(keys, p.Key())
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// EqualOver reports whether two data planes agree on every ordered pair of
+// the given hosts — the paper's route equivalence check.
+func EqualOver(a, b *DataPlane, hosts []string) bool {
+	return len(DiffPairs(a, b, hosts)) == 0
+}
+
+// DiffPairs returns the ordered pairs (drawn from hosts) whose path sets
+// differ between two data planes, in sorted order.
+func DiffPairs(a, b *DataPlane, hosts []string) []Pair {
+	var out []Pair
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			k := Pair{Src: src, Dst: dst}
+			if pathSetKey(a.Pairs[k]) != pathSetKey(b.Pairs[k]) {
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// ExactlyKeptFraction returns the fraction of ordered host pairs whose path
+// sets are preserved exactly — the paper's route utility metric P_U
+// (Fig. 8).
+func ExactlyKeptFraction(orig, anon *DataPlane, hosts []string) float64 {
+	total := 0
+	kept := 0
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			total++
+			k := Pair{Src: src, Dst: dst}
+			if pathSetKey(orig.Pairs[k]) == pathSetKey(anon.Pairs[k]) {
+				kept++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(kept) / float64(total)
+}
+
+// Reachable reports whether at least one delivered path exists for the
+// pair in the data plane.
+func (dp *DataPlane) Reachable(src, dst string) bool {
+	for _, p := range dp.Pairs[Pair{Src: src, Dst: dst}] {
+		if p.Status == Delivered {
+			return true
+		}
+	}
+	return false
+}
+
+// Delivered returns only the delivered paths for a pair.
+func (dp *DataPlane) Delivered(src, dst string) []Path {
+	var out []Path
+	for _, p := range dp.Pairs[Pair{Src: src, Dst: dst}] {
+		if p.Status == Delivered {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+// Package spec mines network specifications from a data plane and compares
+// specification sets — the substitute for Config2Spec (Birkner et al.,
+// NSDI 2020) that the paper's Fig. 9 uses to quantify how much forwarding
+// behavior an anonymization preserves.
+//
+// Three policy classes are mined, matching the classes the paper compares:
+// Reachability(src → dst), Waypoint(src → dst via router), and
+// LoadBalance(src → dst over n paths).
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"confmask/internal/sim"
+)
+
+// PolicyType enumerates the mined specification classes.
+type PolicyType int
+
+const (
+	// Reachability: at least one delivered path exists from Src to Dst.
+	Reachability PolicyType = iota
+	// Waypoint: every delivered path from Src to Dst traverses Via.
+	Waypoint
+	// LoadBalance: traffic from Src to Dst is split over N ≥ 2 paths.
+	LoadBalance
+)
+
+func (t PolicyType) String() string {
+	switch t {
+	case Reachability:
+		return "reachability"
+	case Waypoint:
+		return "waypoint"
+	case LoadBalance:
+		return "loadbalance"
+	default:
+		return fmt.Sprintf("PolicyType(%d)", int(t))
+	}
+}
+
+// Policy is one mined specification.
+type Policy struct {
+	Type PolicyType
+	Src  string
+	Dst  string
+	Via  string // Waypoint only
+	N    int    // LoadBalance only
+}
+
+// Key returns the canonical identity of the policy for set operations.
+func (p Policy) Key() string {
+	switch p.Type {
+	case Waypoint:
+		return fmt.Sprintf("waypoint|%s|%s|%s", p.Src, p.Dst, p.Via)
+	case LoadBalance:
+		return fmt.Sprintf("loadbalance|%s|%s|%d", p.Src, p.Dst, p.N)
+	default:
+		return fmt.Sprintf("reachability|%s|%s", p.Src, p.Dst)
+	}
+}
+
+func (p Policy) String() string { return p.Key() }
+
+// PathOracle answers forwarding-path queries from an arbitrary source
+// device to a destination host. *sim.Snapshot implements it via TraceFrom;
+// the NetHide baseline implements it from its forwarding trees.
+type PathOracle interface {
+	TraceFrom(src, dst string) []sim.Path
+}
+
+// Mine extracts the specification set of a network the way Config2Spec
+// shapes its policies: per (source device, destination) pair — so the
+// policy count grows linearly with added destinations, not quadratically.
+// It emits one Reachability policy per reachable pair, one Waypoint policy
+// per device traversed by every delivered path of a pair, and one
+// LoadBalance policy per pair with ≥ 2 delivered paths.
+//
+// srcs are typically the network's routers (Config2Spec's policy sources)
+// and dsts its hosts.
+func Mine(oracle PathOracle, srcs, dsts []string) []Policy {
+	var out []Policy
+	for _, src := range srcs {
+		for _, dst := range dsts {
+			if src == dst {
+				continue
+			}
+			var paths []sim.Path
+			for _, p := range oracle.TraceFrom(src, dst) {
+				if p.Status == sim.Delivered {
+					paths = append(paths, p)
+				}
+			}
+			if len(paths) == 0 {
+				continue
+			}
+			out = append(out, Policy{Type: Reachability, Src: src, Dst: dst})
+			if len(paths) >= 2 {
+				out = append(out, Policy{Type: LoadBalance, Src: src, Dst: dst, N: len(paths)})
+			}
+			for _, via := range commonInterior(paths) {
+				out = append(out, Policy{Type: Waypoint, Src: src, Dst: dst, Via: via})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// commonInterior returns the interior devices present on every path, in
+// sorted order (the source and destination endpoints are excluded).
+func commonInterior(paths []sim.Path) []string {
+	counts := make(map[string]int)
+	for _, p := range paths {
+		seen := make(map[string]bool)
+		for i := 1; i+1 < len(p.Hops); i++ {
+			seen[p.Hops[i]] = true
+		}
+		for r := range seen {
+			counts[r]++
+		}
+	}
+	var out []string
+	for r, c := range counts {
+		if c == len(paths) {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Comparison reports how an anonymized network's specification set relates
+// to the original's — the quantities of Fig. 9.
+type Comparison struct {
+	// Kept are original policies still present after anonymization.
+	Kept []Policy
+	// Missing are original policies lost by anonymization.
+	Missing []Policy
+	// Introduced are policies present only after anonymization.
+	Introduced []Policy
+	// IntroducedFake counts introduced policies that reference a fake
+	// entity (e.g. a fake host endpoint) — benign by construction.
+	IntroducedFake int
+}
+
+// KeptFraction is |Kept| / |original|.
+func (c Comparison) KeptFraction() float64 {
+	total := len(c.Kept) + len(c.Missing)
+	if total == 0 {
+		return 1
+	}
+	return float64(len(c.Kept)) / float64(total)
+}
+
+// IntroducedRatio is |Introduced| / |original|.
+func (c Comparison) IntroducedRatio() float64 {
+	total := len(c.Kept) + len(c.Missing)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(c.Introduced)) / float64(total)
+}
+
+// FakeFraction is the share of introduced policies referencing fake
+// entities.
+func (c Comparison) FakeFraction() float64 {
+	if len(c.Introduced) == 0 {
+		return 0
+	}
+	return float64(c.IntroducedFake) / float64(len(c.Introduced))
+}
+
+// Compare diffs two mined specification sets. isFake classifies nodes
+// introduced by anonymization (nil means nothing is fake).
+func Compare(orig, anon []Policy, isFake func(node string) bool) Comparison {
+	if isFake == nil {
+		isFake = func(string) bool { return false }
+	}
+	anonSet := make(map[string]bool, len(anon))
+	for _, p := range anon {
+		anonSet[p.Key()] = true
+	}
+	origSet := make(map[string]bool, len(orig))
+	for _, p := range orig {
+		origSet[p.Key()] = true
+	}
+	var c Comparison
+	for _, p := range orig {
+		if anonSet[p.Key()] {
+			c.Kept = append(c.Kept, p)
+		} else {
+			c.Missing = append(c.Missing, p)
+		}
+	}
+	for _, p := range anon {
+		if origSet[p.Key()] {
+			continue
+		}
+		c.Introduced = append(c.Introduced, p)
+		if isFake(p.Src) || isFake(p.Dst) || (p.Via != "" && isFake(p.Via)) {
+			c.IntroducedFake++
+		}
+	}
+	return c
+}
+
+// IsFakeBySuffix returns an isFake classifier recognizing the anonymizer's
+// fake-host naming convention.
+func IsFakeBySuffix() func(string) bool {
+	return func(node string) bool { return strings.Contains(node, "-fk") }
+}

@@ -1,0 +1,169 @@
+package spec
+
+import (
+	"testing"
+
+	"confmask/internal/sim"
+)
+
+// fakeOracle answers path queries from a fixed table.
+type fakeOracle map[[2]string][]sim.Path
+
+func (f fakeOracle) TraceFrom(src, dst string) []sim.Path {
+	return f[[2]string{src, dst}]
+}
+
+func path(hops ...string) sim.Path {
+	return sim.Path{Hops: hops, Status: sim.Delivered}
+}
+
+func TestMineReachabilityAndWaypoint(t *testing.T) {
+	o := fakeOracle{
+		{"r1", "h2"}: {path("r1", "r2", "h2")},
+		{"r2", "h2"}: {{Hops: []string{"r2"}, Status: sim.BlackHoled}},
+	}
+	got := Mine(o, []string{"r1", "r2"}, []string{"h2"})
+	keys := map[string]bool{}
+	for _, p := range got {
+		keys[p.Key()] = true
+	}
+	for _, want := range []string{
+		"reachability|r1|h2",
+		"waypoint|r1|h2|r2",
+	} {
+		if !keys[want] {
+			t.Errorf("missing %s (got %v)", want, got)
+		}
+	}
+	if keys["reachability|r2|h2"] {
+		t.Error("black-holed pair must not be reachable")
+	}
+	if len(got) != 2 {
+		t.Errorf("unexpected extra specs: %v", got)
+	}
+}
+
+func TestMineLoadBalanceAndCommonWaypoints(t *testing.T) {
+	o := fakeOracle{
+		{"r1", "h2"}: {
+			path("r1", "ra", "r4", "h2"),
+			path("r1", "rb", "r4", "h2"),
+		},
+	}
+	got := Mine(o, []string{"r1"}, []string{"h2"})
+	keys := map[string]bool{}
+	for _, p := range got {
+		keys[p.Key()] = true
+	}
+	if !keys["loadbalance|r1|h2|2"] {
+		t.Errorf("missing loadbalance spec: %v", got)
+	}
+	// r4 is on both paths; ra/rb only on one each.
+	if !keys["waypoint|r1|h2|r4"] {
+		t.Errorf("missing common waypoint: %v", got)
+	}
+	if keys["waypoint|r1|h2|ra"] || keys["waypoint|r1|h2|rb"] {
+		t.Errorf("non-common waypoint mined: %v", got)
+	}
+}
+
+func TestMineSkipsSelfPairs(t *testing.T) {
+	o := fakeOracle{
+		{"r1", "r1"}: {path("r1")},
+	}
+	if got := Mine(o, []string{"r1"}, []string{"r1"}); len(got) != 0 {
+		t.Fatalf("self pair mined: %v", got)
+	}
+}
+
+func TestMineLinearInDestinations(t *testing.T) {
+	// The Config2Spec policy shape: adding a destination adds O(|srcs|)
+	// policies, not O(|srcs|·|dsts|) — the property behind the paper's
+	// Fig. 9 "introduced specifications" ratio.
+	o := fakeOracle{
+		{"r1", "h1"}: {path("r1", "h1")},
+		{"r1", "h2"}: {path("r1", "h2")},
+		{"r2", "h1"}: {path("r2", "h1")},
+		{"r2", "h2"}: {path("r2", "h2")},
+	}
+	one := Mine(o, []string{"r1", "r2"}, []string{"h1"})
+	two := Mine(o, []string{"r1", "r2"}, []string{"h1", "h2"})
+	if len(two) != 2*len(one) {
+		t.Fatalf("policy growth not linear: %d vs %d", len(one), len(two))
+	}
+}
+
+func TestCompare(t *testing.T) {
+	orig := []Policy{
+		{Type: Reachability, Src: "r1", Dst: "h2"},
+		{Type: Waypoint, Src: "r1", Dst: "h2", Via: "r1"},
+	}
+	anon := []Policy{
+		{Type: Reachability, Src: "r1", Dst: "h2"},
+		{Type: Reachability, Src: "r1", Dst: "h2-fk1"},
+		{Type: Waypoint, Src: "r1", Dst: "h2", Via: "r9"},
+	}
+	c := Compare(orig, anon, IsFakeBySuffix())
+	if len(c.Kept) != 1 || len(c.Missing) != 1 || len(c.Introduced) != 2 {
+		t.Fatalf("kept=%d missing=%d introduced=%d", len(c.Kept), len(c.Missing), len(c.Introduced))
+	}
+	if c.IntroducedFake != 1 {
+		t.Fatalf("fake introduced = %d", c.IntroducedFake)
+	}
+	if got := c.KeptFraction(); got != 0.5 {
+		t.Fatalf("kept fraction = %v", got)
+	}
+	if got := c.IntroducedRatio(); got != 1.0 {
+		t.Fatalf("introduced ratio = %v", got)
+	}
+	if got := c.FakeFraction(); got != 0.5 {
+		t.Fatalf("fake fraction = %v", got)
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	c := Compare(nil, nil, nil)
+	if c.KeptFraction() != 1 || c.IntroducedRatio() != 0 || c.FakeFraction() != 0 {
+		t.Fatalf("degenerate comparison wrong: %+v", c)
+	}
+}
+
+func TestPolicyKeysDistinct(t *testing.T) {
+	ps := []Policy{
+		{Type: Reachability, Src: "a", Dst: "b"},
+		{Type: Waypoint, Src: "a", Dst: "b", Via: "r"},
+		{Type: LoadBalance, Src: "a", Dst: "b", N: 2},
+		{Type: LoadBalance, Src: "a", Dst: "b", N: 3},
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Key()] {
+			t.Fatalf("duplicate key %s", p.Key())
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestMineDeterministicOrder(t *testing.T) {
+	o := fakeOracle{
+		{"r1", "h1"}: {path("r1", "h1")},
+		{"r2", "h1"}: {path("r2", "r1", "h1")},
+	}
+	a := Mine(o, []string{"r1", "r2"}, []string{"h1"})
+	b := Mine(o, []string{"r2", "r1"}, []string{"h1"}) // source order must not matter
+	if len(a) != len(b) {
+		t.Fatal("length differs")
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("order differs at %d: %s vs %s", i, a[i].Key(), b[i].Key())
+		}
+	}
+}
+
+func TestIsFakeBySuffix(t *testing.T) {
+	f := IsFakeBySuffix()
+	if !f("h1-fk1") || f("h1") || f("router-fake") {
+		t.Fatal("fake classifier wrong")
+	}
+}

@@ -1,0 +1,344 @@
+// Package topology models the layer-3 topology graph that ConfMask
+// anonymizes: an undirected simple graph whose nodes are routers and hosts
+// and whose edges are the links recovered from interface prefixes.
+//
+// The package also implements the graph statistics the paper's evaluation
+// uses: router degree sequences, the k-degree anonymity level (minimum
+// number of routers sharing a degree, Fig. 6), and the average clustering
+// coefficient (Fig. 7).
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes router nodes from host nodes.
+type Kind int
+
+const (
+	// Router is an L3 forwarding device.
+	Router Kind = iota
+	// Host is an end host attached to exactly one router.
+	Host
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Router:
+		return "router"
+	case Host:
+		return "host"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Graph is an undirected simple graph over named nodes. The zero value is
+// not usable; construct with New.
+type Graph struct {
+	kind map[string]Kind
+	adj  map[string]map[string]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		kind: make(map[string]Kind),
+		adj:  make(map[string]map[string]bool),
+	}
+}
+
+// AddNode inserts a node. Re-adding an existing node updates its kind.
+func (g *Graph) AddNode(id string, k Kind) {
+	g.kind[id] = k
+	if g.adj[id] == nil {
+		g.adj[id] = make(map[string]bool)
+	}
+}
+
+// HasNode reports whether id is a node of the graph.
+func (g *Graph) HasNode(id string) bool {
+	_, ok := g.kind[id]
+	return ok
+}
+
+// KindOf returns the kind of a node; it panics if the node is absent.
+func (g *Graph) KindOf(id string) Kind {
+	k, ok := g.kind[id]
+	if !ok {
+		panic(fmt.Sprintf("topology: unknown node %q", id))
+	}
+	return k
+}
+
+// AddEdge inserts an undirected edge; both endpoints must already exist.
+// Self-loops are rejected. Adding an existing edge is a no-op.
+func (g *Graph) AddEdge(a, b string) error {
+	if a == b {
+		return fmt.Errorf("topology: self-loop on %q", a)
+	}
+	if !g.HasNode(a) || !g.HasNode(b) {
+		return fmt.Errorf("topology: edge (%q,%q) references unknown node", a, b)
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+	return nil
+}
+
+// HasEdge reports whether (a,b) is an edge.
+func (g *Graph) HasEdge(a, b string) bool {
+	return g.adj[a][b]
+}
+
+// Nodes returns all node IDs in sorted order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.kind))
+	for id := range g.kind {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodesOf returns all node IDs of the given kind in sorted order.
+func (g *Graph) NodesOf(k Kind) []string {
+	var out []string
+	for id, kk := range g.kind {
+		if kk == k {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Neighbors returns the sorted neighbor set of a node.
+func (g *Graph) Neighbors(id string) []string {
+	out := make([]string, 0, len(g.adj[id]))
+	for n := range g.adj[id] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edge is an undirected edge with endpoints in canonical (sorted) order.
+type Edge struct{ A, B string }
+
+// CanonEdge returns the canonical form of the edge (a,b).
+func CanonEdge(a, b string) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// Edges returns every edge once, in canonical sorted order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for a, ns := range g.adj {
+		for b := range ns {
+			if a < b {
+				out = append(out, Edge{A: a, B: b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.kind) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, ns := range g.adj {
+		total += len(ns)
+	}
+	return total / 2
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for id, k := range g.kind {
+		c.AddNode(id, k)
+	}
+	for a, ns := range g.adj {
+		for b := range ns {
+			c.adj[a][b] = true
+		}
+	}
+	return c
+}
+
+// RouterDegree returns deg_R(r): the number of router neighbors of r.
+// Host attachments do not count, matching Definition 3.1 of the paper.
+func (g *Graph) RouterDegree(r string) int {
+	d := 0
+	for n := range g.adj[r] {
+		if g.kind[n] == Router {
+			d++
+		}
+	}
+	return d
+}
+
+// RouterDegreeSequence returns the router-to-router degree of every router,
+// keyed by router ID.
+func (g *Graph) RouterDegreeSequence() map[string]int {
+	out := make(map[string]int)
+	for id, k := range g.kind {
+		if k == Router {
+			out[id] = g.RouterDegree(id)
+		}
+	}
+	return out
+}
+
+// MinSameDegreeCount returns k_d: the minimum, over all distinct router
+// degrees present, of the number of routers having that degree. A graph is
+// k-degree anonymous exactly when MinSameDegreeCount ≥ k (Definition 3.1).
+func (g *Graph) MinSameDegreeCount() int {
+	counts := make(map[int]int)
+	for id, k := range g.kind {
+		if k == Router {
+			counts[g.RouterDegree(id)]++
+		}
+	}
+	if len(counts) == 0 {
+		return 0
+	}
+	min := -1
+	for _, c := range counts {
+		if min == -1 || c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// ClusteringCoefficient returns the average local clustering coefficient
+// over router nodes, computed on the router-to-router subgraph — the
+// structural utility metric of Fig. 7. Routers with fewer than two router
+// neighbors contribute 0.
+func (g *Graph) ClusteringCoefficient() float64 {
+	routers := g.NodesOf(Router)
+	if len(routers) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range routers {
+		var nbrs []string
+		for n := range g.adj[r] {
+			if g.kind[n] == Router {
+				nbrs = append(nbrs, n)
+			}
+		}
+		d := len(nbrs)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.adj[nbrs[i]][nbrs[j]] {
+					links++
+				}
+			}
+		}
+		sum += 2 * float64(links) / float64(d*(d-1))
+	}
+	return sum / float64(len(routers))
+}
+
+// Connected reports whether the subgraph induced by router nodes is
+// connected (hosts are ignored). An empty graph is considered connected.
+func (g *Graph) Connected() bool {
+	routers := g.NodesOf(Router)
+	if len(routers) == 0 {
+		return true
+	}
+	seen := map[string]bool{routers[0]: true}
+	stack := []string{routers[0]}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for n := range g.adj[cur] {
+			if g.kind[n] == Router && !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return len(seen) == len(routers)
+}
+
+// RouterSubgraph returns a copy of the graph containing only router nodes
+// and router-to-router edges.
+func (g *Graph) RouterSubgraph() *Graph {
+	s := New()
+	for id, k := range g.kind {
+		if k == Router {
+			s.AddNode(id, Router)
+		}
+	}
+	for a, ns := range g.adj {
+		if g.kind[a] != Router {
+			continue
+		}
+		for b := range ns {
+			if g.kind[b] == Router && a < b {
+				_ = s.AddEdge(a, b)
+			}
+		}
+	}
+	return s
+}
+
+// Supergraph collapses nodes into groups (e.g. routers into autonomous
+// systems) and returns the quotient graph: one node per group label, and an
+// edge between two labels when any member edge crosses the groups. Nodes
+// missing from groupOf are skipped.
+func (g *Graph) Supergraph(groupOf map[string]string) *Graph {
+	s := New()
+	for id, grp := range groupOf {
+		if g.HasNode(id) {
+			s.AddNode(grp, Router)
+		}
+	}
+	for a, ns := range g.adj {
+		ga, ok := groupOf[a]
+		if !ok {
+			continue
+		}
+		for b := range ns {
+			gb, ok := groupOf[b]
+			if !ok || ga == gb {
+				continue
+			}
+			_ = s.AddEdge(ga, gb)
+		}
+	}
+	return s
+}
+
+// DiffEdges returns the edges present in h but not in g, in canonical
+// order. It is used to recover the fake links introduced by topology
+// anonymization.
+func DiffEdges(g, h *Graph) []Edge {
+	var out []Edge
+	for _, e := range h.Edges() {
+		if !g.HasEdge(e.A, e.B) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// triangle returns r1-r2-r3 fully meshed, with host h1 on r1.
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for _, r := range []string{"r1", "r2", "r3"} {
+		g.AddNode(r, Router)
+	}
+	g.AddNode("h1", Host)
+	for _, e := range [][2]string{{"r1", "r2"}, {"r2", "r3"}, {"r1", "r3"}, {"r1", "h1"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := triangle(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge("r1", "r2") || !g.HasEdge("r2", "r1") {
+		t.Fatal("edge should be symmetric")
+	}
+	if g.HasEdge("r2", "h1") {
+		t.Fatal("phantom edge")
+	}
+	if got := g.Neighbors("r1"); len(got) != 3 {
+		t.Fatalf("r1 neighbors = %v", got)
+	}
+	if g.KindOf("h1") != Host || g.KindOf("r1") != Router {
+		t.Fatal("kinds wrong")
+	}
+	if got := g.NodesOf(Router); len(got) != 3 || got[0] != "r1" {
+		t.Fatalf("NodesOf(Router) = %v", got)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New()
+	g.AddNode("a", Router)
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge("a", "missing"); err == nil {
+		t.Fatal("edge to unknown node accepted")
+	}
+}
+
+func TestRouterDegreeIgnoresHosts(t *testing.T) {
+	g := triangle(t)
+	if d := g.RouterDegree("r1"); d != 2 {
+		t.Fatalf("RouterDegree(r1) = %d, want 2 (host link must not count)", d)
+	}
+	seq := g.RouterDegreeSequence()
+	if len(seq) != 3 {
+		t.Fatalf("degree sequence over %d routers", len(seq))
+	}
+	for r, d := range seq {
+		if d != 2 {
+			t.Fatalf("deg(%s) = %d", r, d)
+		}
+	}
+}
+
+func TestMinSameDegreeCount(t *testing.T) {
+	g := triangle(t)
+	if k := g.MinSameDegreeCount(); k != 3 {
+		t.Fatalf("triangle k_d = %d, want 3", k)
+	}
+	// Attach a degree-1 router: now degrees are {3:1, 2:2, 1:1} → min 1.
+	g.AddNode("r4", Router)
+	if err := g.AddEdge("r1", "r4"); err != nil {
+		t.Fatal(err)
+	}
+	if k := g.MinSameDegreeCount(); k != 1 {
+		t.Fatalf("k_d = %d, want 1", k)
+	}
+}
+
+func TestMinSameDegreeCountEmpty(t *testing.T) {
+	if k := New().MinSameDegreeCount(); k != 0 {
+		t.Fatalf("empty graph k_d = %d", k)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	g := triangle(t)
+	if cc := g.ClusteringCoefficient(); cc != 1.0 {
+		t.Fatalf("triangle CC = %v, want 1", cc)
+	}
+	// A path r1-r2-r3 has CC 0.
+	p := New()
+	for _, r := range []string{"a", "b", "c"} {
+		p.AddNode(r, Router)
+	}
+	_ = p.AddEdge("a", "b")
+	_ = p.AddEdge("b", "c")
+	if cc := p.ClusteringCoefficient(); cc != 0 {
+		t.Fatalf("path CC = %v, want 0", cc)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := triangle(t)
+	if !g.Connected() {
+		t.Fatal("triangle should be connected")
+	}
+	g.AddNode("island", Router)
+	if g.Connected() {
+		t.Fatal("isolated router should break connectivity")
+	}
+	if !New().Connected() {
+		t.Fatal("empty graph is connected by convention")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := triangle(t)
+	c := g.Clone()
+	c.AddNode("r9", Router)
+	_ = c.AddEdge("r9", "r1")
+	if g.HasNode("r9") || g.HasEdge("r9", "r1") {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("original edges changed: %d", g.NumEdges())
+	}
+}
+
+func TestRouterSubgraph(t *testing.T) {
+	g := triangle(t)
+	s := g.RouterSubgraph()
+	if s.HasNode("h1") {
+		t.Fatal("host leaked into router subgraph")
+	}
+	if s.NumEdges() != 3 {
+		t.Fatalf("router subgraph edges = %d, want 3", s.NumEdges())
+	}
+}
+
+func TestSupergraph(t *testing.T) {
+	g := New()
+	for _, r := range []string{"a1", "a2", "b1", "b2"} {
+		g.AddNode(r, Router)
+	}
+	_ = g.AddEdge("a1", "a2")
+	_ = g.AddEdge("b1", "b2")
+	_ = g.AddEdge("a2", "b1")
+	sg := g.Supergraph(map[string]string{"a1": "AS1", "a2": "AS1", "b1": "AS2", "b2": "AS2"})
+	if sg.NumNodes() != 2 || sg.NumEdges() != 1 || !sg.HasEdge("AS1", "AS2") {
+		t.Fatalf("supergraph wrong: %d nodes %d edges", sg.NumNodes(), sg.NumEdges())
+	}
+}
+
+func TestDiffEdges(t *testing.T) {
+	g := triangle(t)
+	h := g.Clone()
+	h.AddNode("r4", Router)
+	_ = h.AddEdge("r4", "r2")
+	diff := DiffEdges(g, h)
+	if len(diff) != 1 || diff[0] != CanonEdge("r2", "r4") {
+		t.Fatalf("DiffEdges = %v", diff)
+	}
+}
+
+func TestCanonEdge(t *testing.T) {
+	if CanonEdge("b", "a") != (Edge{A: "a", B: "b"}) {
+		t.Fatal("CanonEdge must sort endpoints")
+	}
+}
+
+// Property: for any set of edge insertions, NumEdges equals half the sum of
+// neighbor-set sizes and every edge is symmetric.
+func TestEdgeSymmetryProperty(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		g := New()
+		names := []string{"n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7"}
+		for _, n := range names {
+			g.AddNode(n, Router)
+		}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a := names[int(pairs[i])%len(names)]
+			b := names[int(pairs[i+1])%len(names)]
+			if a != b {
+				_ = g.AddEdge(a, b)
+			}
+		}
+		for _, e := range g.Edges() {
+			if !g.HasEdge(e.B, e.A) {
+				return false
+			}
+		}
+		return len(g.Edges()) == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: clustering coefficient is always within [0,1].
+func TestClusteringCoefficientBounds(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		g := New()
+		names := []string{"n0", "n1", "n2", "n3", "n4", "n5"}
+		for _, n := range names {
+			g.AddNode(n, Router)
+		}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a := names[int(pairs[i])%len(names)]
+			b := names[int(pairs[i+1])%len(names)]
+			if a != b {
+				_ = g.AddEdge(a, b)
+			}
+		}
+		cc := g.ClusteringCoefficient()
+		return cc >= 0 && cc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
