@@ -18,13 +18,19 @@ import (
 	"time"
 
 	"confmask/internal/experiments"
+	"confmask/internal/version"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed for all anonymization runs")
 	full := flag.Bool("full", false, "include the slowest strawman-2 runs")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("confmask-bench", version.String())
+		return
+	}
 
 	r := experiments.NewRunner(*seed)
 	r.Full = *full

@@ -1,0 +1,264 @@
+package main
+
+// Client mode: talk to a running confmaskd daemon. The payload shapes
+// mirror internal/service (Request, Status, Event) but are redeclared
+// here the way an external API consumer would write them, so the CLI
+// only depends on the wire format.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"confmask"
+)
+
+type jobStatus struct {
+	ID        string           `json:"id"`
+	State     string           `json:"state"`
+	Stage     string           `json:"stage"`
+	Iteration int              `json:"iteration"`
+	Error     string           `json:"error"`
+	Report    *confmask.Report `json:"report"`
+}
+
+type jobEvent struct {
+	Seq       int       `json:"seq"`
+	Time      time.Time `json:"time"`
+	State     string    `json:"state"`
+	Stage     string    `json:"stage"`
+	Iteration int       `json:"iteration"`
+	Message   string    `json:"message"`
+	Error     string    `json:"error"`
+}
+
+type jobResult struct {
+	ID      string            `json:"id"`
+	Configs map[string]string `json:"configs"`
+	Report  *confmask.Report  `json:"report"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// callJSON performs one API request and decodes the response into out,
+// turning non-2xx responses into errors carrying the server's message.
+func callJSON(method, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var ae apiError
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, ae.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// streamEvents follows a job's NDJSON event stream, printing one line per
+// event, and returns the terminal state (the daemon closes the stream at
+// a terminal event).
+func streamEvents(server, id string, after int) (string, error) {
+	url := fmt.Sprintf("%s/v1/jobs/%s/events?after=%d", server, id, after)
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return "", fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	state := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e jobEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return state, fmt.Errorf("bad event line: %w", err)
+		}
+		state = e.State
+		switch {
+		case e.Stage != "" && e.Iteration > 0:
+			fmt.Printf("  [%s] %s iteration %d\n", e.State, e.Stage, e.Iteration)
+		case e.Stage != "":
+			fmt.Printf("  [%s] %s\n", e.State, e.Stage)
+		case e.Error != "":
+			fmt.Printf("  [%s] error: %s\n", e.State, e.Error)
+		default:
+			fmt.Printf("  [%s] %s\n", e.State, e.Message)
+		}
+	}
+	return state, sc.Err()
+}
+
+// cmdSubmit submits a configuration bundle to a confmaskd daemon and,
+// with -wait, follows progress and fetches the result.
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8619", "confmaskd base URL")
+	in := fs.String("in", "", "input configuration directory")
+	net := fs.String("net", "", "submit a built-in example network instead of -in")
+	kr := fs.Int("kr", 6, "topology anonymity parameter k_R")
+	kh := fs.Int("kh", 2, "route anonymity parameter k_H")
+	p := fs.Float64("p", 0.1, "route anonymity noise probability")
+	seed := fs.Int64("seed", 0, "random seed")
+	strategy := fs.String("strategy", "confmask", "route equivalence strategy")
+	fakeRouters := fs.Int("fake-routers", 0, "add N fake routers (scale obfuscation)")
+	wait := fs.Bool("wait", false, "stream progress and wait for the job to finish")
+	out := fs.String("out", "", "with -wait: write the anonymized configs to this directory")
+	verify := fs.Bool("verify", false, "with -wait: locally verify the result against the input")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var configs map[string]string
+	var err error
+	switch {
+	case *in != "" && *net != "":
+		return fmt.Errorf("submit takes -in or -net, not both")
+	case *in != "":
+		configs, err = confmask.ReadConfigDir(*in)
+	case *net != "":
+		configs, err = confmask.GenerateExample(*net)
+	default:
+		return fmt.Errorf("submit requires -in or -net")
+	}
+	if err != nil {
+		return err
+	}
+	req := map[string]any{
+		"configs": configs,
+		"options": confmask.Options{KR: *kr, KH: *kh, NoiseP: *p, Seed: *seed, Strategy: *strategy, FakeRouters: *fakeRouters},
+	}
+	var st jobStatus
+	if err := callJSON("POST", *server+"/v1/jobs", req, &st); err != nil {
+		return err
+	}
+	fmt.Printf("job %s %s (%d devices)\n", st.ID, st.State, len(configs))
+	if !*wait {
+		fmt.Printf("follow with: confmask status -server %s -id %s -events\n", *server, st.ID)
+		return nil
+	}
+	state, err := streamEvents(*server, st.ID, 0)
+	if err != nil {
+		return err
+	}
+	if state != "done" {
+		if err := callJSON("GET", *server+"/v1/jobs/"+st.ID, nil, &st); err != nil {
+			return err
+		}
+		if st.Error != "" {
+			return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		return fmt.Errorf("job %s ended %s", st.ID, st.State)
+	}
+	var res jobResult
+	if err := callJSON("GET", *server+"/v1/jobs/"+st.ID+"/result", nil, &res); err != nil {
+		return err
+	}
+	if rep := res.Report; rep != nil {
+		fmt.Printf("done: fake links %d, fake hosts %d, filters %d, %d iterations, U_C %.3f\n",
+			len(rep.FakeLinks), len(rep.FakeHosts), rep.FiltersAdded, rep.Iterations, rep.UC)
+	}
+	if *verify {
+		if err := confmask.Verify(configs, res.Configs); err != nil {
+			return fmt.Errorf("verification of daemon result failed: %w", err)
+		}
+		fmt.Println("verified: anonymized network is functionally equivalent")
+	}
+	if *out != "" {
+		if err := confmask.WriteConfigDir(*out, res.Configs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d device configurations to %s\n", len(res.Configs), *out)
+	}
+	return nil
+}
+
+// cmdStatus prints a job's status, or follows its event stream.
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8619", "confmaskd base URL")
+	id := fs.String("id", "", "job ID")
+	events := fs.Bool("events", false, "stream the job's progress events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("status requires -id")
+	}
+	if *events {
+		_, err := streamEvents(*server, *id, 0)
+		return err
+	}
+	var st jobStatus
+	if err := callJSON("GET", *server+"/v1/jobs/"+*id, nil, &st); err != nil {
+		return err
+	}
+	fmt.Printf("job %s: %s", st.ID, st.State)
+	if st.Stage != "" {
+		fmt.Printf(" (stage %s", st.Stage)
+		if st.Iteration > 0 {
+			fmt.Printf(", iteration %d", st.Iteration)
+		}
+		fmt.Printf(")")
+	}
+	if st.Error != "" {
+		fmt.Printf(": %s", st.Error)
+	}
+	fmt.Println()
+	if st.Report != nil {
+		fmt.Printf("  fake links %d, fake hosts %d, filters %d, %d iterations, U_C %.3f\n",
+			len(st.Report.FakeLinks), len(st.Report.FakeHosts), st.Report.FiltersAdded, st.Report.Iterations, st.Report.UC)
+	}
+	return nil
+}
+
+// cmdCancel cancels a queued or running job.
+func cmdCancel(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8619", "confmaskd base URL")
+	id := fs.String("id", "", "job ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("cancel requires -id")
+	}
+	var st jobStatus
+	if err := callJSON("DELETE", *server+"/v1/jobs/"+*id, nil, &st); err != nil {
+		return err
+	}
+	fmt.Printf("job %s: cancel requested (state %s)\n", st.ID, st.State)
+	return nil
+}

@@ -9,6 +9,12 @@
 //	confmask inspect -in <dir>
 //	confmask trace -in <dir> -src <host> -dst <host>
 //	confmask example -net FatTree04 -out <dir>
+//
+// Client mode for a running confmaskd daemon:
+//
+//	confmask submit -server <url> (-in <dir> | -net <name>) [-wait] [-out <dir>]
+//	confmask status -server <url> -id <job> [-events]
+//	confmask cancel -server <url> -id <job>
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"strings"
 
 	"confmask"
+	"confmask/internal/version"
 )
 
 func main() {
@@ -40,6 +47,14 @@ func main() {
 		err = cmdRoutes(os.Args[2:])
 	case "example":
 		err = cmdExample(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "cancel":
+		err = cmdCancel(os.Args[2:])
+	case "-version", "--version", "version":
+		fmt.Println("confmask", version.String())
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -61,6 +76,10 @@ subcommands:
   inspect   -in <dir>
   trace     -in <dir> -src <host> -dst <host>
   routes    -in <dir> -router <name>
+  submit    -server <url> (-in <dir> | -net <name>) [-kr N] [-kh N] [-seed N] [-wait] [-out <dir>] [-verify]
+  status    -server <url> -id <job> [-events]
+  cancel    -server <url> -id <job>
+  version
   example   -net <A..H|name> -out <dir>   (built-in evaluation networks:`, strings.Join(confmask.ExampleNetworks(), ", ")+")")
 }
 

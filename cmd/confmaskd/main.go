@@ -1,0 +1,90 @@
+// Command confmaskd is the ConfMask anonymization service daemon: a
+// long-running HTTP/JSON server that accepts anonymization jobs, runs
+// them on a bounded worker pool with a FIFO queue and per-job timeouts,
+// and streams per-stage progress.
+//
+// Usage:
+//
+//	confmaskd [-addr :8619] [-workers N] [-queue N] [-job-timeout 15m]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit {"configs": {...}, "options": {...}}
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/events NDJSON progress stream (replay + follow)
+//	GET    /v1/jobs/{id}/result anonymized configs + report (when done)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness
+//	GET    /metrics             job counters + per-stage histograms
+//
+// The existing confmask CLI is the matching client: `confmask submit`,
+// `confmask status`, `confmask cancel`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"confmask/internal/service"
+	"confmask/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", ":8619", "listen address")
+	workers := flag.Int("workers", 2, "concurrent anonymization jobs")
+	queue := flag.Int("queue", 64, "max queued jobs before submissions get 429")
+	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job wall-clock budget")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for running jobs before cancelling them")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("confmaskd", version.String())
+		return
+	}
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("confmaskd %s listening on %s (%d workers, queue %d, job timeout %v)",
+			version.String(), *addr, *workers, *queue, *jobTimeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, draining (running jobs get %v)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the job service first — new submissions already get 503, but
+	// clients can keep polling status and following event streams while
+	// running jobs finish; those streams end as jobs reach terminal
+	// states, which is what lets the HTTP shutdown below return.
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("drain timed out, running jobs were cancelled")
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("confmaskd stopped")
+}

@@ -15,12 +15,18 @@ import (
 	"path/filepath"
 
 	"confmask"
+	"confmask/internal/version"
 )
 
 func main() {
 	net := flag.String("net", "", "single network ID or name (default: all)")
 	out := flag.String("out", "", "output directory")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("netgen", version.String())
+		return
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "netgen: -out is required")
 		os.Exit(2)

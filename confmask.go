@@ -20,6 +20,7 @@
 package confmask
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -59,7 +60,28 @@ type Options struct {
 	// OutputSyntax selects the emitted configuration syntax: "" keeps
 	// the input's (auto-detected) syntax, "ios" and "junos" force one.
 	OutputSyntax string
+	// Progress, when non-nil, receives pipeline stage transitions: one
+	// call per stage plus one per route-equivalence iteration. It runs
+	// synchronously on the pipeline goroutine, so it must return quickly;
+	// it is ignored by JSON encoding (daemon job requests carry every
+	// other field).
+	Progress ProgressFunc `json:"-"`
 }
+
+// ProgressFunc observes pipeline progress. Stages arrive in order:
+// "preprocess", "topology", "equivalence" (once per Algorithm 1 /
+// strawman iteration, iteration ≥ 1), "anonymity" (Algorithm 2), and
+// "render". Iteration is 0 for non-iterative stages.
+type ProgressFunc func(stage string, iteration int)
+
+// Stage names reported to Options.Progress, in pipeline order.
+const (
+	StagePreprocess  = "preprocess"
+	StageTopology    = "topology"
+	StageEquivalence = "equivalence"
+	StageAnonymity   = "anonymity"
+	StageRender      = "render"
+)
 
 // DefaultOptions returns the paper's default parameters (k_R=6, k_H=2,
 // p=0.1).
@@ -80,6 +102,7 @@ func (o Options) internal() (anonymize.Options, error) {
 	}
 	opts.Seed = o.Seed
 	opts.FakeRouters = o.FakeRouters
+	opts.Progress = o.Progress
 	switch strings.ToLower(o.Strategy) {
 	case "", "confmask":
 		opts.Strategy = anonymize.ConfMask
@@ -144,8 +167,17 @@ func renderAs(net *config.Network, syntax string) map[string]string {
 // e.g. file name; Cisco-IOS-style and Junos-style syntaxes are
 // auto-detected), runs the ConfMask pipeline, and returns the anonymized
 // configurations keyed by hostname, in the input's syntax unless
-// Options.OutputSyntax overrides it.
+// Options.OutputSyntax overrides it. It is AnonymizeContext with a
+// background context: non-cancellable, no deadline.
 func Anonymize(configs map[string]string, o Options) (map[string]string, *Report, error) {
+	return AnonymizeContext(context.Background(), configs, o)
+}
+
+// AnonymizeContext is Anonymize with cancellation: the pipeline observes
+// ctx between stages and between Algorithm 1 / strawman-2 iterations
+// (where long runs spend their time) and returns ctx.Err() once it fires.
+// Options.Progress, when set, observes the stage transitions.
+func AnonymizeContext(ctx context.Context, configs map[string]string, o Options) (map[string]string, *Report, error) {
 	opts, err := o.internal()
 	if err != nil {
 		return nil, nil, err
@@ -157,9 +189,12 @@ func Anonymize(configs map[string]string, o Options) (map[string]string, *Report
 	if o.OutputSyntax != "" {
 		syntax = o.OutputSyntax
 	}
-	anon, rep, err := anonymize.Run(net, opts)
+	anon, rep, err := anonymize.RunContext(ctx, net, opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	if o.Progress != nil {
+		o.Progress(StageRender, 0)
 	}
 	out := renderAs(anon, syntax)
 	r := &Report{
@@ -466,8 +501,11 @@ func GenerateExample(name string) (map[string]string, error) {
 	return cfg.Render(), nil
 }
 
-// ReadConfigDir loads every file in dir as a configuration keyed by file
-// name.
+// ReadConfigDir loads every configuration file in dir, keyed by file
+// name. Subdirectories, non-regular files (sockets, devices, dangling
+// symlinks), hidden files, and editor leftovers (*.bak, *.orig, *.swp,
+// *.tmp, *~) are skipped — a real config drop often carries those, and
+// parsing a backup copy would silently double a router.
 func ReadConfigDir(dir string) (map[string]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -475,10 +513,17 @@ func ReadConfigDir(dir string) (map[string]string, error) {
 	}
 	out := make(map[string]string)
 	for _, e := range entries {
-		if e.IsDir() {
+		if e.IsDir() || skipConfigFile(e.Name()) {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		path := filepath.Join(dir, e.Name())
+		// Stat (not the entry's Lstat-like Type) so a symlink counts as
+		// what it points at; anything not a regular file is skipped.
+		fi, err := os.Stat(path)
+		if err != nil || !fi.Mode().IsRegular() {
+			continue
+		}
+		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
@@ -488,6 +533,19 @@ func ReadConfigDir(dir string) (map[string]string, error) {
 		return nil, fmt.Errorf("confmask: no configuration files in %s", dir)
 	}
 	return out, nil
+}
+
+// skipConfigFile reports whether a directory entry is clearly not a
+// configuration: hidden files and common backup/editor suffixes.
+func skipConfigFile(name string) bool {
+	if strings.HasPrefix(name, ".") || strings.HasSuffix(name, "~") {
+		return true
+	}
+	switch strings.ToLower(filepath.Ext(name)) {
+	case ".bak", ".orig", ".swp", ".tmp":
+		return true
+	}
+	return false
 }
 
 // WriteConfigDir writes configurations into dir (created if needed), one

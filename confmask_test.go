@@ -1,6 +1,8 @@
 package confmask
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -188,6 +190,97 @@ func TestReadWriteConfigDir(t *testing.T) {
 	}
 	if _, err := ReadConfigDir(empty); err == nil {
 		t.Fatal("expected error for empty dir")
+	}
+}
+
+func TestReadConfigDirSkipsNonConfigs(t *testing.T) {
+	dir := t.TempDir()
+	configs := exampleConfigs(t, "Backbone")
+	if err := WriteConfigDir(dir, configs); err != nil {
+		t.Fatal(err)
+	}
+	// A nested folder (with a config-looking file inside), a backup copy
+	// of a real config, and a hidden file must all be ignored.
+	sub := filepath.Join(dir, "archive")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		filepath.Join(sub, "old-r1.cfg"),
+		filepath.Join(dir, "r1.cfg.bak"),
+		filepath.Join(dir, ".DS_Store"),
+		filepath.Join(dir, "r2.cfg~"),
+	} {
+		if err := os.WriteFile(f, []byte("hostname duplicate\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadConfigDir(dir)
+	if err != nil {
+		t.Fatalf("ReadConfigDir: %v", err)
+	}
+	if len(got) != len(configs) {
+		t.Fatalf("read %d files, want the %d real configs", len(got), len(configs))
+	}
+	for name := range got {
+		if strings.HasSuffix(name, ".bak") || strings.HasSuffix(name, "~") || strings.HasPrefix(name, ".") {
+			t.Fatalf("non-config %q was read", name)
+		}
+	}
+	// The junk must not change what the bundle parses into.
+	if err := Verify(configs, got); err != nil {
+		t.Fatalf("bundle with junk files not equivalent: %v", err)
+	}
+}
+
+func TestAnonymizeContextCancelAndProgress(t *testing.T) {
+	configs := exampleConfigs(t, "Enterprise")
+	opts := DefaultOptions()
+	opts.Seed = 5
+
+	// A pre-cancelled context stops the pipeline before any work.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := AnonymizeContext(cancelled, configs, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run: err = %v, want context.Canceled", err)
+	}
+
+	// A full run reports stages in pipeline order, ending with render.
+	var stages []string
+	var equivIters int
+	opts.Progress = func(stage string, iteration int) {
+		if len(stages) == 0 || stages[len(stages)-1] != stage {
+			stages = append(stages, stage)
+		}
+		if stage == StageEquivalence && iteration > equivIters {
+			equivIters = iteration
+		}
+	}
+	anon, rep, err := AnonymizeContext(context.Background(), configs, opts)
+	if err != nil {
+		t.Fatalf("AnonymizeContext: %v", err)
+	}
+	want := []string{StagePreprocess, StageTopology, StageEquivalence, StageAnonymity, StageRender}
+	if strings.Join(stages, ",") != strings.Join(want, ",") {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+	if equivIters != rep.Iterations {
+		t.Fatalf("progress saw %d equivalence iterations, report says %d", equivIters, rep.Iterations)
+	}
+
+	// Context plumbing must not change the output: same seed, same result.
+	opts.Progress = nil
+	direct, _, err := Anonymize(configs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(anon) {
+		t.Fatalf("context run produced %d configs, direct run %d", len(anon), len(direct))
+	}
+	for name, text := range direct {
+		if anon[name] != text {
+			t.Fatalf("config %s differs between context and direct runs", name)
+		}
 	}
 }
 

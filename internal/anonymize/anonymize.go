@@ -12,6 +12,7 @@
 package anonymize
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -79,6 +80,19 @@ type Options struct {
 	// are supported — auto-generating believable BGP speakers is the open
 	// problem the paper defers.
 	FakeRouters int
+	// Progress, when non-nil, is invoked at the start of every pipeline
+	// stage ("preprocess", "topology", "equivalence", "anonymity") and
+	// once per route-equivalence fixing iteration (iteration ≥ 1; 0 for
+	// non-iterative stages). It runs synchronously on the pipeline
+	// goroutine and must be fast.
+	Progress func(stage string, iteration int)
+}
+
+// progress reports a stage transition when a callback is configured.
+func (o Options) progress(stage string, iteration int) {
+	if o.Progress != nil {
+		o.Progress(stage, iteration)
+	}
 }
 
 // DefaultOptions returns the paper's default parameters: k_R = 6, k_H = 2,
@@ -128,13 +142,25 @@ type Report struct {
 // Run anonymizes a copy of cfg and returns it with a report; cfg itself is
 // not modified. It returns an error when the input fails to simulate, when
 // k_R exceeds the router count, or when a fixing loop fails to converge
-// within Options.MaxIterations.
+// within Options.MaxIterations. It is RunContext with a background
+// context: non-cancellable, no deadline.
 func Run(cfg *config.Network, opts Options) (*config.Network, *Report, error) {
+	return RunContext(context.Background(), cfg, opts)
+}
+
+// RunContext is Run with cancellation: the pipeline observes ctx between
+// stages and between fixing-loop iterations (where long runs spend their
+// time), returning ctx.Err() as soon as it fires. A cancelled run returns
+// no partial output.
+func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config.Network, *Report, error) {
 	if opts.KR < 1 || opts.KH < 1 {
 		return nil, nil, fmt.Errorf("anonymize: k_R and k_H must be ≥ 1 (got %d, %d)", opts.KR, opts.KH)
 	}
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = 256
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	rep := &Report{}
@@ -142,6 +168,7 @@ func Run(cfg *config.Network, opts Options) (*config.Network, *Report, error) {
 
 	// Preprocessing: simulate the original network, recording its
 	// topology, data plane, and per-router next hops as the baseline.
+	opts.progress("preprocess", 0)
 	t0 := time.Now()
 	base, err := newBaseline(cfg)
 	if err != nil {
@@ -151,6 +178,9 @@ func Run(cfg *config.Network, opts Options) (*config.Network, *Report, error) {
 
 	out := cfg.Clone()
 	pool := netaddr.NewPool(cfg.UsedPrefixes(), nil)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	// Step 0.5 (extension, §9): scale obfuscation with fake routers.
 	if opts.FakeRouters > 0 {
@@ -162,6 +192,7 @@ func Run(cfg *config.Network, opts Options) (*config.Network, *Report, error) {
 	}
 
 	// Step 1: topology anonymization.
+	opts.progress("topology", 0)
 	t0 = time.Now()
 	fake, err := anonymizeTopology(out, pool, base, opts.KR, rng)
 	if err != nil {
@@ -169,26 +200,37 @@ func Run(cfg *config.Network, opts Options) (*config.Network, *Report, error) {
 	}
 	rep.FakeEdges = fake
 	rep.Timing.Topology = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	// Step 2.1: route equivalence.
 	t0 = time.Now()
 	switch opts.Strategy {
 	case ConfMask:
-		rep.EquivIterations, rep.EquivFilters, err = routeEquivalence(out, base, opts.MaxIterations)
+		rep.EquivIterations, rep.EquivFilters, err = routeEquivalence(ctx, out, base, opts)
 	case Strawman1:
+		opts.progress("equivalence", 1)
 		rep.EquivIterations, rep.EquivFilters, err = strawman1(out, base)
 	case Strawman2:
-		rep.EquivIterations, rep.EquivFilters, err = strawman2(out, base, opts.MaxIterations)
+		rep.EquivIterations, rep.EquivFilters, err = strawman2(ctx, out, base, opts)
 	default:
 		err = fmt.Errorf("unknown strategy %v", opts.Strategy)
 	}
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, nil, ctxErr
+		}
 		return nil, nil, fmt.Errorf("anonymize: route equivalence (%v): %w", opts.Strategy, err)
 	}
 	rep.Timing.RouteEquiv = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	// Step 2.2: route anonymity.
 	if !opts.SkipRouteAnonymity && opts.KH > 1 {
+		opts.progress("anonymity", 0)
 		t0 = time.Now()
 		hosts, filters, err := routeAnonymity(out, pool, base, opts.KH, opts.NoiseP, rng)
 		if err != nil {
@@ -197,6 +239,9 @@ func Run(cfg *config.Network, opts Options) (*config.Network, *Report, error) {
 		rep.FakeHosts = hosts
 		rep.AnonFilters = filters
 		rep.Timing.RouteAnon = time.Since(t0)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 
 	newStats := out.LineStats()

@@ -1,6 +1,7 @@
 package anonymize
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -160,10 +161,17 @@ func sanitize(s string) string {
 // original link, add a deny filter for that destination on the fake link.
 // The loop ends when an iteration adds no filter, at which point the SFE
 // conditions hold; a final data-plane comparison asserts functional
-// equivalence.
-func routeEquivalence(out *config.Network, base *baseline, maxIter int) (int, int, error) {
+// equivalence. Cancellation is observed between iterations — each
+// iteration costs a full control-plane simulation, so this is where long
+// jobs must notice a dead context.
+func routeEquivalence(ctx context.Context, out *config.Network, base *baseline, opts Options) (int, int, error) {
 	filters := 0
+	maxIter := opts.MaxIterations
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return iter - 1, filters, err
+		}
+		opts.progress("equivalence", iter)
 		snap, err := sim.Simulate(out)
 		if err != nil {
 			return iter, filters, err

@@ -1,6 +1,7 @@
 package anonymize
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 
@@ -98,9 +99,14 @@ func denyAllOn(cfg *config.Network, view *sim.Net, d *config.Device, i *config.I
 // divergent hop per pair — the deepest fake link on a divergent path —
 // then re-simulate. Conservative in injected lines but slow, because a
 // single wrong hop per pair is repaired per (expensive) simulation round.
-func strawman2(out *config.Network, base *baseline, maxIter int) (int, int, error) {
+func strawman2(ctx context.Context, out *config.Network, base *baseline, opts Options) (int, int, error) {
 	filters := 0
+	maxIter := opts.MaxIterations
 	for iter := 1; iter <= maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return iter - 1, filters, err
+		}
+		opts.progress("equivalence", iter)
 		snap, err := sim.Simulate(out)
 		if err != nil {
 			return iter, filters, err

@@ -1,0 +1,351 @@
+// Package service implements confmaskd's anonymization job service: an
+// in-memory job store with content-hash deduplication, a bounded FIFO
+// queue drained by a worker pool, per-job timeouts and cancellation, an
+// NDJSON progress stream per job, and an HTTP/JSON API
+// (POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events,
+// GET /v1/jobs/{id}/result, DELETE /v1/jobs/{id}, GET /healthz,
+// GET /metrics).
+//
+// The service runs the same pipeline as the library — each job is one
+// confmask.AnonymizeContext call — so a daemon result is byte-identical
+// to an in-process run with the same configs, options, and seed.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"confmask"
+)
+
+// State is a job lifecycle state. Transitions:
+//
+//	queued → running → done | failed | cancelled
+//	queued → cancelled            (cancelled before a worker picked it up)
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request is the POST /v1/jobs payload: the configuration bundle to
+// anonymize plus pipeline options. Equal requests (same configs, same
+// options — including the seed) hash identically and dedup to one job.
+type Request struct {
+	Configs map[string]string `json:"configs"`
+	Options confmask.Options  `json:"options"`
+}
+
+// hash returns the content hash used for job deduplication: a sha256 over
+// the sorted configuration files and the JSON encoding of the options
+// (Options.Progress is a func and excluded from JSON, so it cannot affect
+// the hash).
+func (r *Request) hash() string {
+	h := sha256.New()
+	names := make([]string, 0, len(r.Configs))
+	for name := range r.Configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "%d:%s%d:%s", len(name), name, len(r.Configs[name]), r.Configs[name])
+	}
+	opts, _ := json.Marshal(r.Options)
+	h.Write(opts)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Event is one record of a job's NDJSON progress stream: a state
+// transition, a pipeline stage transition, or an Algorithm 1 iteration.
+type Event struct {
+	// Seq numbers events per job from 1; clients resume a dropped stream
+	// with ?after=<seq>.
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	// State is the job state at the time of the event.
+	State State `json:"state"`
+	// Stage is the pipeline stage ("preprocess", "topology",
+	// "equivalence", "anonymity", "render") for progress events.
+	Stage string `json:"stage,omitempty"`
+	// Iteration is the Algorithm 1 / strawman fixing iteration (≥ 1) for
+	// "equivalence" progress events.
+	Iteration int `json:"iteration,omitempty"`
+	// Message annotates non-progress events ("queued", "cancel
+	// requested", ...).
+	Message string `json:"message,omitempty"`
+	// Error carries the failure reason on the terminal event of a failed
+	// job.
+	Error string `json:"error,omitempty"`
+}
+
+// Status is the GET /v1/jobs/{id} document: a point-in-time snapshot of a
+// job.
+type Status struct {
+	ID        string    `json:"id"`
+	State     State     `json:"state"`
+	InputHash string    `json:"input_hash"`
+	Devices   int       `json:"devices"`
+	Stage     string    `json:"stage,omitempty"`
+	Iteration int       `json:"iteration,omitempty"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	// Report is present once the job is done.
+	Report *confmask.Report `json:"report,omitempty"`
+}
+
+// job is the store's internal record. All fields behind mu; events grows
+// append-only so streamers can hold an index into it across unlocks.
+type job struct {
+	mu      sync.Mutex
+	changed chan struct{} // closed+replaced on every mutation (broadcast)
+
+	id      string
+	hash    string
+	req     *Request
+	devices int
+
+	state     State
+	stage     string
+	iteration int
+	events    []Event
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	result map[string]string
+	report *confmask.Report
+	errMsg string
+
+	// cancelRequested is set by DELETE; a queued job dies before running,
+	// a running job's pipeline context is cancelled via cancel.
+	cancelRequested bool
+	cancel          func()
+}
+
+func newJob(id string, req *Request, now time.Time) *job {
+	j := &job{
+		id:      id,
+		hash:    req.hash(),
+		req:     req,
+		devices: len(req.Configs),
+		state:   StateQueued,
+		created: now,
+		changed: make(chan struct{}),
+	}
+	j.appendEventLocked(Event{State: StateQueued, Message: "queued", Time: now})
+	return j
+}
+
+// appendEventLocked numbers and stores an event and wakes streamers. The
+// caller must hold mu (or, for newJob, be the only reference holder).
+func (j *job) appendEventLocked(e Event) {
+	e.Seq = len(j.events) + 1
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	j.events = append(j.events, e)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// setProgress records a pipeline stage transition as an event.
+func (j *job) setProgress(stage string, iteration int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return // a late callback after cancellation; drop it
+	}
+	j.stage, j.iteration = stage, iteration
+	j.appendEventLocked(Event{State: j.state, Stage: stage, Iteration: iteration})
+}
+
+// start transitions queued → running; it returns false when the job was
+// cancelled while still in the queue.
+func (j *job) start(cancel func(), now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelRequested {
+		j.state = StateCancelled
+		j.finished = now
+		j.errMsg = "cancelled before start"
+		j.appendEventLocked(Event{State: StateCancelled, Message: "cancelled before start", Time: now})
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	j.cancel = cancel
+	j.appendEventLocked(Event{State: StateRunning, Message: "started", Time: now})
+	return true
+}
+
+// finish records the terminal state once the pipeline returned.
+func (j *job) finish(state State, result map[string]string, report *confmask.Report, errMsg string, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.finished = now
+	j.result = result
+	j.report = report
+	j.errMsg = errMsg
+	j.stage, j.iteration = "", 0
+	j.cancel = nil
+	e := Event{State: state, Time: now}
+	switch state {
+	case StateDone:
+		e.Message = "done"
+	case StateCancelled:
+		e.Message = "cancelled"
+	default:
+		e.Error = errMsg
+	}
+	j.appendEventLocked(e)
+}
+
+// requestCancel marks the job for cancellation. It reports whether the
+// request was accepted (false once the job is already terminal).
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	if !j.cancelRequested {
+		j.cancelRequested = true
+		j.appendEventLocked(Event{State: j.state, Message: "cancel requested"})
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return true
+}
+
+// status snapshots the job for the API.
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.id,
+		State:     j.state,
+		InputHash: j.hash,
+		Devices:   j.devices,
+		Stage:     j.stage,
+		Iteration: j.iteration,
+		Created:   j.created,
+		Error:     j.errMsg,
+		Report:    j.report,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// eventsSince returns the events after seq, the current state, and a
+// channel closed on the next mutation — everything a streamer needs to
+// replay and then follow without busy-waiting.
+func (j *job) eventsSince(seq int) ([]Event, State, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	if seq < len(j.events) {
+		out = append(out, j.events[seq:]...)
+	}
+	return out, j.state, j.changed
+}
+
+// store is the in-memory job index with dedup by request content hash.
+type store struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	byHash map[string]string // request hash → job ID
+	seq    int
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*job), byHash: make(map[string]string)}
+}
+
+// add registers a job for req, deduplicating against live jobs: when a
+// queued, running, or done job exists for the same content hash, that job
+// is returned with existing=true. Failed and cancelled jobs do not block
+// resubmission.
+func (s *store) add(req *Request, now time.Time) (j *job, existing bool) {
+	hash := req.hash()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.byHash[hash]; ok {
+		return s.jobs[id], true
+	}
+	s.seq++
+	id := fmt.Sprintf("j%06d-%s", s.seq, hash[:8])
+	j = newJob(id, req, now)
+	s.jobs[id] = j
+	s.byHash[hash] = id
+	return j, false
+}
+
+// get looks a job up by ID.
+func (s *store) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// remove deletes a job entirely (used when enqueueing fails after add).
+func (s *store) remove(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, j.id)
+	if s.byHash[j.hash] == j.id {
+		delete(s.byHash, j.hash)
+	}
+}
+
+// unindexHash drops the dedup entry of a failed or cancelled job so an
+// identical resubmission starts fresh; the job itself stays queryable.
+func (s *store) unindexHash(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byHash[j.hash] == j.id {
+		delete(s.byHash, j.hash)
+	}
+}
+
+// list returns every job's status, newest first.
+func (s *store) list() []Status {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID > out[b].ID })
+	return out
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"time"
+)
+
+// histogram is a fixed-bucket wall-clock histogram in the expvar spirit:
+// cheap to update, rendered as JSON on GET /metrics.
+type histogram struct {
+	mu  sync.Mutex
+	n   int64
+	sum time.Duration
+	// counts[i] counts observations ≤ histogramBounds[i]; the last bucket
+	// is +Inf.
+	counts [len(histogramBounds) + 1]int64
+}
+
+var histogramBounds = [...]time.Duration{
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+	time.Minute,
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.n++
+	h.sum += d
+	for i, b := range histogramBounds {
+		if d <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(histogramBounds)]++
+}
+
+// MarshalJSON renders {"count":N,"total_ms":T,"buckets":{"le_10ms":...}}.
+func (h *histogram) MarshalJSON() ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buckets := map[string]int64{
+		"le_10ms": h.counts[0],
+		"le_100ms": h.counts[1],
+		"le_1s":  h.counts[2],
+		"le_10s": h.counts[3],
+		"le_1m":  h.counts[4],
+		"inf":    h.counts[5],
+	}
+	return json.Marshal(map[string]any{
+		"count":    h.n,
+		"total_ms": h.sum.Milliseconds(),
+		"buckets":  buckets,
+	})
+}
+
+// metrics aggregates the daemon's counters. The expvar types give atomic
+// counters with expvar semantics, but instances are deliberately not
+// published to the global expvar registry so that many Servers (tests!)
+// can coexist in one process; GET /metrics renders them instead.
+type metrics struct {
+	JobsSubmitted expvar.Int // accepted POSTs, dedup hits excluded
+	JobsDeduped   expvar.Int // POSTs answered by an existing job
+	JobsRejected  expvar.Int // POSTs refused with 429 (queue full)
+	JobsRunning   expvar.Int // gauge
+	JobsDone      expvar.Int
+	JobsFailed    expvar.Int
+	JobsCancelled expvar.Int
+	QueueDepth    expvar.Int // gauge
+
+	stageMu sync.Mutex
+	stages  map[string]*histogram // per-stage wall clock
+}
+
+func newMetrics() *metrics {
+	return &metrics{stages: make(map[string]*histogram)}
+}
+
+// observeStage records one wall-clock sample for a pipeline stage.
+func (m *metrics) observeStage(stage string, d time.Duration) {
+	m.stageMu.Lock()
+	h, ok := m.stages[stage]
+	if !ok {
+		h = &histogram{}
+		m.stages[stage] = h
+	}
+	m.stageMu.Unlock()
+	h.observe(d)
+}
+
+// snapshot renders every counter and histogram as one JSON-able document.
+func (m *metrics) snapshot() map[string]any {
+	m.stageMu.Lock()
+	stages := make(map[string]*histogram, len(m.stages))
+	for k, v := range m.stages {
+		stages[k] = v
+	}
+	m.stageMu.Unlock()
+	return map[string]any{
+		"jobs_submitted_total": m.JobsSubmitted.Value(),
+		"jobs_deduped_total":   m.JobsDeduped.Value(),
+		"jobs_rejected_total":  m.JobsRejected.Value(),
+		"jobs_done_total":      m.JobsDone.Value(),
+		"jobs_failed_total":    m.JobsFailed.Value(),
+		"jobs_cancelled_total": m.JobsCancelled.Value(),
+		"jobs_running":         m.JobsRunning.Value(),
+		"queue_depth":          m.QueueDepth.Value(),
+		"stage_seconds":        stages,
+	}
+}
+
+// stageTimer turns the pipeline's progress callbacks into per-stage
+// duration samples: each transition closes the previous stage's clock.
+// One timer lives per job run, called only from that job's worker
+// goroutine.
+type stageTimer struct {
+	m     *metrics
+	stage string
+	start time.Time
+}
+
+func (t *stageTimer) transition(stage string, now time.Time) {
+	if t.stage == stage {
+		return // equivalence iterations stay within one stage clock
+	}
+	if t.stage != "" {
+		t.m.observeStage(t.stage, now.Sub(t.start))
+	}
+	t.stage, t.start = stage, now
+}
+
+// finish closes the clock of the last open stage.
+func (t *stageTimer) finish(now time.Time) {
+	t.transition("", now)
+}

@@ -1,0 +1,404 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"confmask"
+)
+
+// Config sizes a Server. The zero value is usable: every field has a
+// default.
+type Config struct {
+	// Workers is the number of concurrent anonymization jobs. Default 2.
+	Workers int
+	// QueueDepth bounds the FIFO backlog of accepted-but-not-running
+	// jobs; a full queue rejects submissions with 429. Default 64.
+	QueueDepth int
+	// JobTimeout is the per-job wall-clock budget; jobs past it fail
+	// with a timeout error. Default 15 minutes.
+	JobTimeout time.Duration
+	// StageHook, when non-nil, observes every job progress callback
+	// synchronously on the job's worker goroutine. Test instrumentation:
+	// a blocking hook holds the pipeline inside a stage, which is how
+	// the tests freeze a job mid-Algorithm-1 deterministically.
+	StageHook func(jobID, stage string, iteration int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 15 * time.Minute
+	}
+	return c
+}
+
+// Server is the anonymization service: an http.Handler plus the worker
+// pool behind it. Create with New, serve with net/http, stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	store   *store
+	metrics *metrics
+	queue   chan *job
+	quit    chan struct{}
+	workers sync.WaitGroup
+	mux     *http.ServeMux
+	started time.Time
+
+	mu           sync.Mutex
+	shuttingDown bool
+	running      map[string]*job // jobs currently on a worker
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   newStore(),
+		metrics: newMetrics(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		running: make(map[string]*job),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the service: no new submissions are accepted, workers
+// finish their running jobs, still-queued jobs are marked cancelled. When
+// ctx fires first, running jobs are cancelled too and Shutdown waits for
+// the workers to notice (one Algorithm 1 iteration at most).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.shuttingDown {
+		s.shuttingDown = true
+		close(s.quit)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline passed: abort the jobs still running and wait for the
+		// pipelines to observe the dead context.
+		err = ctx.Err()
+		s.mu.Lock()
+		for _, j := range s.running {
+			j.requestCancel()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	// Workers are gone; whatever is left in the queue never ran.
+	for {
+		select {
+		case j := <-s.queue:
+			s.metrics.QueueDepth.Add(-1)
+			j.requestCancel()
+			j.finish(StateCancelled, nil, nil, "server shutting down", time.Now())
+			s.store.unindexHash(j)
+			s.metrics.JobsCancelled.Add(1)
+		default:
+			return err
+		}
+	}
+}
+
+// worker pulls jobs off the FIFO queue until shutdown.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.metrics.QueueDepth.Add(-1)
+			s.run(j)
+		}
+	}
+}
+
+// run executes one job: per-job timeout, progress plumbed into the job's
+// event stream and the stage histograms, terminal state classified from
+// the pipeline error.
+func (s *Server) run(j *job) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	defer cancel()
+	if !j.start(cancel, time.Now()) {
+		// Cancelled while queued.
+		s.store.unindexHash(j)
+		s.metrics.JobsCancelled.Add(1)
+		return
+	}
+	s.mu.Lock()
+	s.running[j.id] = j
+	s.mu.Unlock()
+	s.metrics.JobsRunning.Add(1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.running, j.id)
+		s.mu.Unlock()
+		s.metrics.JobsRunning.Add(-1)
+	}()
+
+	timer := &stageTimer{m: s.metrics}
+	opts := j.req.Options
+	opts.Progress = func(stage string, iteration int) {
+		now := time.Now()
+		timer.transition(stage, now)
+		j.setProgress(stage, iteration)
+		if s.cfg.StageHook != nil {
+			s.cfg.StageHook(j.id, stage, iteration)
+		}
+	}
+	result, report, err := confmask.AnonymizeContext(ctx, j.req.Configs, opts)
+	now := time.Now()
+	timer.finish(now)
+	switch {
+	case err == nil:
+		j.finish(StateDone, result, report, "", now)
+		s.metrics.JobsDone.Add(1)
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCancelled, nil, nil, "cancelled", now)
+		s.store.unindexHash(j)
+		s.metrics.JobsCancelled.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateFailed, nil, nil, fmt.Sprintf("job exceeded timeout %v", s.cfg.JobTimeout), now)
+		s.store.unindexHash(j)
+		s.metrics.JobsFailed.Add(1)
+	default:
+		j.finish(StateFailed, nil, nil, err.Error(), now)
+		s.store.unindexHash(j)
+		s.metrics.JobsFailed.Add(1)
+	}
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a job: 202 on enqueue, 200 when deduplicated to an
+// existing job, 429 when the queue is full, 503 when shutting down.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, 128<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, "request has no configs")
+		return
+	}
+	// Zero-valued options fields fall back to the paper defaults inside
+	// the pipeline itself, so an empty "options" object is valid.
+
+	// Everything from the dedup check to the queue send happens under mu
+	// so a concurrent Shutdown cannot strand a job in the queue.
+	s.mu.Lock()
+	if s.shuttingDown {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	j, existing := s.store.add(&req, time.Now())
+	if existing {
+		s.mu.Unlock()
+		s.metrics.JobsDeduped.Add(1)
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.metrics.QueueDepth.Add(1)
+	default:
+		s.store.remove(j)
+		s.mu.Unlock()
+		s.metrics.JobsRejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued); retry later", s.cfg.QueueDepth)
+		return
+	}
+	s.mu.Unlock()
+	s.metrics.JobsSubmitted.Add(1)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.list()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleEvents streams the job's event log as NDJSON: full replay (or
+// from ?after=SEQ), then live follow until the job reaches a terminal
+// state or the client disconnects. ?follow=false stops after the replay.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	after := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &after); err != nil || after < 0 {
+			writeError(w, http.StatusBadRequest, "bad after=%q", v)
+			return
+		}
+	}
+	follow := r.URL.Query().Get("follow") != "false"
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for {
+		events, state, changed := j.eventsSince(after)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			after = e.Seq
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if state.Terminal() || !follow {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleResult returns the anonymized configurations of a done job; 409
+// with the current state otherwise.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	st := j.status()
+	if st.State != StateDone {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": fmt.Sprintf("job is %s, not done", st.State),
+			"state": st.State,
+		})
+		return
+	}
+	j.mu.Lock()
+	result := j.result
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      st.ID,
+		"configs": result,
+		"report":  st.Report,
+	})
+}
+
+// handleCancel requests cancellation: a queued job dies before starting,
+// a running job's context is cancelled and the pipeline notices within
+// one Algorithm 1 iteration. 409 once the job is already terminal.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !j.requestCancel() {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": fmt.Sprintf("job already %s", j.status().State),
+			"state": j.status().State,
+		})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	down := s.shuttingDown
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if down {
+		status = "shutting_down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"workers":        s.cfg.Workers,
+		"queue_capacity": s.cfg.QueueDepth,
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}

@@ -1,0 +1,460 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"confmask"
+)
+
+// testRequest builds a small job request with a distinguishing seed.
+func testRequest(t *testing.T, seed int64) *Request {
+	t.Helper()
+	configs, err := confmask.GenerateExample("Enterprise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Request{
+		Configs: configs,
+		Options: confmask.Options{KR: 6, KH: 2, NoiseP: 0.1, Seed: seed},
+	}
+}
+
+func postJob(t *testing.T, ts *httptest.Server, req *Request) (*http.Response, Status) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+	}
+	return resp, st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: %s", id, resp.Status)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitState polls until the job reaches one of the wanted states.
+func waitState(t *testing.T, ts *httptest.Server, id string, want ...State) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		for _, w := range want {
+			if st.State == w {
+				return st
+			}
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s ended %s (error %q), want %v", id, st.State, st.Error, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v", id, want)
+	return Status{}
+}
+
+func TestSubmitPollResultRoundTrip(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8, JobTimeout: 2 * time.Minute})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := testRequest(t, 5)
+	resp, st := postJob(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if st.ID == "" || st.State != StateQueued {
+		t.Fatalf("submit status: %+v", st)
+	}
+	final := waitState(t, ts, st.ID, StateDone)
+	if final.Report == nil || final.Report.Iterations < 1 {
+		t.Fatalf("done without report: %+v", final.Report)
+	}
+	if final.Started == nil || final.Finished == nil {
+		t.Fatalf("missing timestamps: %+v", final)
+	}
+
+	// Result must verify against the input and be byte-identical to a
+	// direct in-process run with the same seed.
+	r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("result: %s", r.Status)
+	}
+	var res struct {
+		Configs map[string]string `json:"configs"`
+		Report  *confmask.Report  `json:"report"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if err := confmask.Verify(req.Configs, res.Configs); err != nil {
+		t.Fatalf("daemon result fails verification: %v", err)
+	}
+	direct, _, err := confmask.Anonymize(req.Configs, req.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(res.Configs) {
+		t.Fatalf("daemon result has %d configs, direct run %d", len(res.Configs), len(direct))
+	}
+	for name, text := range direct {
+		if res.Configs[name] != text {
+			t.Fatalf("config %s differs from direct run with same seed", name)
+		}
+	}
+
+	// Identical resubmission dedups to the same completed job.
+	resp2, st2 := postJob(t, ts, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("dedup submit: %s, want 200", resp2.Status)
+	}
+	if st2.ID != st.ID || st2.State != StateDone {
+		t.Fatalf("dedup returned %s/%s, want %s/done", st2.ID, st2.State, st.ID)
+	}
+	// A different seed is a different job.
+	resp3, st3 := postJob(t, ts, testRequest(t, 6))
+	if resp3.StatusCode != http.StatusAccepted || st3.ID == st.ID {
+		t.Fatalf("distinct request not accepted as new job: %s %s", resp3.Status, st3.ID)
+	}
+	waitState(t, ts, st3.ID, StateDone)
+
+	// Metrics reflect the runs.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(mr.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if n := m["jobs_done_total"].(float64); n < 2 {
+		t.Fatalf("jobs_done_total = %v", n)
+	}
+	if n := m["jobs_deduped_total"].(float64); n != 1 {
+		t.Fatalf("jobs_deduped_total = %v", n)
+	}
+	stages := m["stage_seconds"].(map[string]any)
+	if _, ok := stages["equivalence"]; !ok {
+		t.Fatalf("no equivalence stage histogram: %v", stages)
+	}
+}
+
+func TestEventsStream(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	_, st := postJob(t, ts, testRequest(t, 7))
+	// Follow the stream live: it must replay from "queued" and close by
+	// itself at the terminal event.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 5 {
+		t.Fatalf("only %d events", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != i+1 {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if events[0].Message != "queued" || events[len(events)-1].State != StateDone {
+		t.Fatalf("stream = %+v", events)
+	}
+	stages := map[string]int{}
+	maxIter := 0
+	for _, e := range events {
+		if e.Stage != "" {
+			stages[e.Stage]++
+		}
+		if e.Stage == "equivalence" && e.Iteration > maxIter {
+			maxIter = e.Iteration
+		}
+	}
+	for _, want := range []string{"preprocess", "topology", "equivalence", "anonymity", "render"} {
+		if stages[want] == 0 {
+			t.Fatalf("no %s event (got %v)", want, stages)
+		}
+	}
+	if maxIter < 1 {
+		t.Fatal("no Algorithm 1 iteration count in events")
+	}
+
+	// Resume: ?after=N&follow=false returns only the tail.
+	resp2, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?after=%d&follow=false", ts.URL, st.ID, len(events)-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	tail, _ := bufio.NewReader(resp2.Body).ReadString('\n')
+	var last Event
+	if err := json.Unmarshal([]byte(tail), &last); err != nil || last.Seq != len(events) {
+		t.Fatalf("resume tail = %q (err %v)", tail, err)
+	}
+}
+
+func TestCancelMidAlgorithm1(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s := New(Config{
+		Workers: 1, QueueDepth: 4, JobTimeout: 2 * time.Minute,
+		// Freeze the pipeline inside Algorithm 1's first iteration until
+		// the test has issued the cancel.
+		StageHook: func(id, stage string, iter int) {
+			if stage == "equivalence" {
+				once.Do(func() { close(entered) })
+				<-release
+			}
+		},
+	})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	_, st := postJob(t, ts, testRequest(t, 8))
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never reached Algorithm 1")
+	}
+	if got := getStatus(t, ts, st.ID); got.State != StateRunning || got.Stage != "equivalence" {
+		t.Fatalf("mid-Algorithm-1 status = %s/%s", got.State, got.Stage)
+	}
+
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %s", delResp.Status)
+	}
+	close(release) // pipeline resumes, must observe the dead context
+
+	final := waitState(t, ts, st.ID, StateCancelled)
+	if final.Report != nil {
+		t.Fatal("cancelled job has a report")
+	}
+	// A cancelled job must not block an identical resubmission.
+	resp2, st2 := postJob(t, ts, testRequest(t, 8))
+	if resp2.StatusCode != http.StatusAccepted || st2.ID == st.ID {
+		t.Fatalf("resubmit after cancel: %s, id %s (old %s)", resp2.Status, st2.ID, st.ID)
+	}
+	waitState(t, ts, st2.ID, StateDone)
+
+	// Cancelling a terminal job is a 409.
+	delReq2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	delResp2, err := http.DefaultClient.Do(delReq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp2.Body.Close()
+	if delResp2.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel terminal job: %s, want 409", delResp2.Status)
+	}
+}
+
+func TestQueueSaturationReturns429(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{
+		Workers: 1, QueueDepth: 1, JobTimeout: 2 * time.Minute,
+		StageHook: func(id, stage string, iter int) { <-release },
+	})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	_, stA := postJob(t, ts, testRequest(t, 11))
+	waitState(t, ts, stA.ID, StateRunning) // worker occupied, queue empty
+
+	respB, stB := postJob(t, ts, testRequest(t, 12))
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %s", respB.Status)
+	}
+	respC, _ := postJob(t, ts, testRequest(t, 13))
+	if respC.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %s, want 429", respC.Status)
+	}
+
+	close(release)
+	waitState(t, ts, stA.ID, StateDone)
+	waitState(t, ts, stB.ID, StateDone)
+
+	// The rejected request left no trace, so it can be submitted again.
+	respC2, stC2 := postJob(t, ts, testRequest(t, 13))
+	if respC2.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit after 429: %s", respC2.Status)
+	}
+	waitState(t, ts, stC2.ID, StateDone)
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s := New(Config{
+		Workers: 1, QueueDepth: 4, JobTimeout: 2 * time.Minute,
+		StageHook: func(id, stage string, iter int) {
+			once.Do(func() { close(entered) })
+			<-release
+		},
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	_, running := postJob(t, ts, testRequest(t, 21))
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("first job never started")
+	}
+	_, queued := postJob(t, ts, testRequest(t, 22))
+
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(context.Background()) }()
+
+	// New submissions are refused while draining.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, _ := postJob(t, ts, testRequest(t, 23))
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submissions still accepted during shutdown: %s", resp.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(release) // let the running job finish
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st := getStatus(t, ts, running.ID); st.State != StateDone {
+		t.Fatalf("running job drained to %s, want done", st.State)
+	}
+	if st := getStatus(t, ts, queued.ID); st.State != StateCancelled {
+		t.Fatalf("queued job ended %s, want cancelled", st.State)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: %s", resp.Status)
+	}
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"configs":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty configs: %s", resp.Status)
+	}
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/events", "/v1/jobs/nope/result"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+	}
+
+	// An unparseable (but non-empty) bundle fails the job, not the API.
+	resp2, st := postJob(t, ts, &Request{Configs: map[string]string{"x": "interface Y\n"}})
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("bad bundle submit: %s", resp2.Status)
+	}
+	final := waitState(t, ts, st.ID, StateFailed)
+	if final.Error == "" {
+		t.Fatal("failed job carries no error")
+	}
+	// Result of a failed job is a conflict.
+	r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("result of failed job: %s, want 409", r.Status)
+	}
+	// healthz answers ok.
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", h.Status)
+	}
+}

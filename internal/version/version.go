@@ -1,0 +1,34 @@
+// Package version derives a human-readable build version string from the
+// Go build metadata embedded in the binary, shared by every command's
+// -version flag.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// String returns "<module version> (<vcs revision>, <go version>)" as far
+// as the build info embedded by the toolchain allows; "devel" stands in
+// when a part is unknown (e.g. `go run` builds carry no VCS stamp).
+func String() string {
+	ver, rev := "devel", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			ver = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				rev = s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+			}
+		}
+	}
+	if rev == "" {
+		return fmt.Sprintf("%s (%s)", ver, runtime.Version())
+	}
+	return fmt.Sprintf("%s (%s, %s)", ver, rev, runtime.Version())
+}
