@@ -175,6 +175,96 @@ func BenchmarkSimulate(b *testing.B) {
 	}
 }
 
+// parVariants are the worker-pool settings the parallelism benchmarks
+// compare: 1 is the plain sequential engine, 0 lets the pool size follow
+// GOMAXPROCS, and 4 pins a fixed fan-out so numbers are comparable across
+// machines.
+var parVariants = []struct {
+	name    string
+	workers int
+}{
+	{"seq", 1},
+	{"par4", 4},
+	{"gomaxprocs", 0},
+}
+
+// parNetworks are the two networks the parallelism comparison runs on:
+// Backbone is the small BGP+OSPF mix, FatTree08 the largest pure-OSPF
+// network and the pipeline's dominant cost in Figure 16.
+func parNetworks(b *testing.B) []struct {
+	name string
+	cfg  *config.Network
+} {
+	b.Helper()
+	backbone, err := netgen.Backbone()
+	benchErr(b, err)
+	fatTree, err := netgen.FatTree08()
+	benchErr(b, err)
+	return []struct {
+		name string
+		cfg  *config.Network
+	}{
+		{"Backbone", backbone},
+		{"FatTree08", fatTree},
+	}
+}
+
+// BenchmarkSimulateParallelism records sequential-vs-parallel wall clock
+// for one full control-plane simulation. Output is byte-identical across
+// variants (TestParallelismByteIdentical); only the wall clock moves.
+func BenchmarkSimulateParallelism(b *testing.B) {
+	for _, net := range parNetworks(b) {
+		for _, v := range parVariants {
+			b.Run(net.name+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := sim.SimulateOpts(net.cfg, sim.Options{Parallelism: v.workers})
+					benchErr(b, err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSimulateIncremental measures the rebuild-avoiding loop shape
+// Algorithm 1 now uses: one Build, then per-iteration InvalidateFilters +
+// SimulateNet reusing the cached filter-independent core. Compare against
+// BenchmarkSimulateParallelism/seq, which pays the full Build+SPF cost
+// every round — the ratio is the per-iteration saving of the incremental
+// engine.
+func BenchmarkSimulateIncremental(b *testing.B) {
+	for _, net := range parNetworks(b) {
+		b.Run(net.name, func(b *testing.B) {
+			view, err := sim.Build(net.cfg)
+			benchErr(b, err)
+			sim.SimulateNet(view) // warm the cached core, as iteration 1 does
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				view.InvalidateFilters()
+				sim.SimulateNet(view)
+			}
+		})
+	}
+}
+
+// BenchmarkAnonymizeParallelism records the end-to-end pipeline wall
+// clock at each worker-pool setting on the two reference networks.
+func BenchmarkAnonymizeParallelism(b *testing.B) {
+	for _, net := range parNetworks(b) {
+		for _, v := range parVariants {
+			b.Run(net.name+"/"+v.name, func(b *testing.B) {
+				opts := anonymize.DefaultOptions()
+				opts.Seed = 1
+				opts.Parallelism = v.workers
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, _, err := anonymize.Run(net.cfg, opts)
+					benchErr(b, err)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkExtractDataPlane measures full host-to-host path extraction.
 func BenchmarkExtractDataPlane(b *testing.B) {
 	cfg, err := netgen.FatTree08()

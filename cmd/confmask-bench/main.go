@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for all anonymization runs")
 	full := flag.Bool("full", false, "include the slowest strawman-2 runs")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
+	parallelism := flag.Int("parallelism", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -34,6 +35,7 @@ func main() {
 
 	r := experiments.NewRunner(*seed)
 	r.Full = *full
+	r.Parallelism = *parallelism
 
 	wanted := map[string]bool{}
 	if *only != "" {

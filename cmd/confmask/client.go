@@ -135,6 +135,7 @@ func cmdSubmit(args []string) error {
 	seed := fs.Int64("seed", 0, "random seed")
 	strategy := fs.String("strategy", "confmask", "route equivalence strategy")
 	fakeRouters := fs.Int("fake-routers", 0, "add N fake routers (scale obfuscation)")
+	parallelism := fs.Int("parallelism", 0, "simulation worker pool size on the daemon (0 = daemon default)")
 	wait := fs.Bool("wait", false, "stream progress and wait for the job to finish")
 	out := fs.String("out", "", "with -wait: write the anonymized configs to this directory")
 	verify := fs.Bool("verify", false, "with -wait: locally verify the result against the input")
@@ -158,7 +159,7 @@ func cmdSubmit(args []string) error {
 	}
 	req := map[string]any{
 		"configs": configs,
-		"options": confmask.Options{KR: *kr, KH: *kh, NoiseP: *p, Seed: *seed, Strategy: *strategy, FakeRouters: *fakeRouters},
+		"options": confmask.Options{KR: *kr, KH: *kh, NoiseP: *p, Seed: *seed, Strategy: *strategy, FakeRouters: *fakeRouters, Parallelism: *parallelism},
 	}
 	var st jobStatus
 	if err := callJSON("POST", *server+"/v1/jobs", req, &st); err != nil {

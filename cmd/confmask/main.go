@@ -93,6 +93,7 @@ func cmdAnonymize(args []string) error {
 	seed := fs.Int64("seed", 0, "random seed")
 	strategy := fs.String("strategy", "confmask", "route equivalence strategy (confmask|strawman1|strawman2)")
 	fakeRouters := fs.Int("fake-routers", 0, "also hide the router count by adding N fake routers (IGP networks)")
+	parallelism := fs.Int("parallelism", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	pii := fs.String("pii", "", "when set, also apply keyed PII anonymization with this key")
 	verify := fs.Bool("verify", true, "verify functional equivalence after anonymizing")
 	reportPath := fs.String("report", "", "write a Markdown audit of the run to this file")
@@ -106,7 +107,7 @@ func cmdAnonymize(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := confmask.Options{KR: *kr, KH: *kh, NoiseP: *p, Seed: *seed, Strategy: *strategy, FakeRouters: *fakeRouters}
+	opts := confmask.Options{KR: *kr, KH: *kh, NoiseP: *p, Seed: *seed, Strategy: *strategy, FakeRouters: *fakeRouters, Parallelism: *parallelism}
 	anon, rep, err := confmask.Anonymize(configs, opts)
 	if err != nil {
 		return err

@@ -44,6 +44,7 @@ func main() {
 	queue := flag.Int("queue", 64, "max queued jobs before submissions get 429")
 	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job wall-clock budget")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for running jobs before cancelling them")
+	parallelism := flag.Int("parallelism", 0, "default per-job simulation parallelism (0 = GOMAXPROCS; jobs may override)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -52,9 +53,10 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTimeout,
+		Parallelism: *parallelism,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 

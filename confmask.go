@@ -60,6 +60,11 @@ type Options struct {
 	// OutputSyntax selects the emitted configuration syntax: "" keeps
 	// the input's (auto-detected) syntax, "ios" and "junos" force one.
 	OutputSyntax string
+	// Parallelism bounds the simulation engine's worker pool: 0 (or
+	// negative) uses GOMAXPROCS, 1 forces sequential execution. The
+	// anonymized output is byte-identical at any setting, so this only
+	// trades wall-clock time for CPU.
+	Parallelism int
 	// Progress, when non-nil, receives pipeline stage transitions: one
 	// call per stage plus one per route-equivalence iteration. It runs
 	// synchronously on the pipeline goroutine, so it must return quickly;
@@ -102,6 +107,7 @@ func (o Options) internal() (anonymize.Options, error) {
 	}
 	opts.Seed = o.Seed
 	opts.FakeRouters = o.FakeRouters
+	opts.Parallelism = o.Parallelism
 	opts.Progress = o.Progress
 	switch strings.ToLower(o.Strategy) {
 	case "", "confmask":

@@ -19,7 +19,8 @@ import (
 // that breaks a fake host's reachability.
 //
 // It returns the fake host names and the number of noise filters kept.
-func routeAnonymity(out *config.Network, pool *netaddr.Pool, base *baseline, kH int, p float64, rng *rand.Rand) ([]string, int, error) {
+func routeAnonymity(out *config.Network, pool *netaddr.Pool, base *baseline, opts Options, rng *rand.Rand) ([]string, int, error) {
+	kH, p := opts.KH, opts.NoiseP
 	gw := base.snap.Net.GatewayOf
 	var fakeHosts []string
 	fakePrefix := make(map[string]netip.Prefix)
@@ -58,10 +59,13 @@ func routeAnonymity(out *config.Network, pool *netaddr.Pool, base *baseline, kH 
 		return expect[sim.Pair{Src: r, Dst: real}]
 	}
 
-	snap, err := sim.Simulate(out)
+	// The fake twins changed the topology, so one fresh Build is needed;
+	// from here on only filters change, so the repair loop reuses the view.
+	view, err := sim.Build(out)
 	if err != nil {
 		return nil, 0, err
 	}
+	snap := sim.SimulateNetOpts(view, opts.simOpts())
 
 	// Noise pass: per FIB entry for a fake destination, per next hop, flip
 	// a p-coin and deny.
@@ -99,10 +103,8 @@ func routeAnonymity(out *config.Network, pool *netaddr.Pool, base *baseline, kH 
 	// remove candidates), so each round removes at least one record and
 	// the loop terminates.
 	for round := 0; round <= len(recs); round++ {
-		snap, err = sim.Simulate(out)
-		if err != nil {
-			return nil, 0, err
-		}
+		view.InvalidateFilters()
+		snap = sim.SimulateNetOpts(view, opts.simOpts())
 		removedAny := false
 		brokenAny := false
 		for _, fh := range fakeHosts {

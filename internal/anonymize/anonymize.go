@@ -71,6 +71,11 @@ type Options struct {
 	MaxIterations int
 	// SkipRouteAnonymity disables step 2.2 (used by ablation benches).
 	SkipRouteAnonymity bool
+	// Parallelism bounds the simulation engine's worker pool; ≤ 0 uses
+	// GOMAXPROCS and 1 forces sequential execution. The anonymized
+	// output is identical at any setting (and any machine): the engine
+	// only fans out independent per-router work.
+	Parallelism int
 	// FakeRouters enables the paper's §9 "network scale obfuscation"
 	// extension: this many fake routers are added (with generated
 	// configurations and fake links) before topology anonymization, so
@@ -93,6 +98,11 @@ func (o Options) progress(stage string, iteration int) {
 	if o.Progress != nil {
 		o.Progress(stage, iteration)
 	}
+}
+
+// simOpts translates the pipeline options into engine options.
+func (o Options) simOpts() sim.Options {
+	return sim.Options{Parallelism: o.Parallelism}
 }
 
 // DefaultOptions returns the paper's default parameters: k_R = 6, k_H = 2,
@@ -170,7 +180,7 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 	// topology, data plane, and per-router next hops as the baseline.
 	opts.progress("preprocess", 0)
 	t0 := time.Now()
-	base, err := newBaseline(cfg)
+	base, err := newBaseline(cfg, opts.simOpts())
 	if err != nil {
 		return nil, nil, fmt.Errorf("anonymize: preprocessing: %w", err)
 	}
@@ -211,7 +221,7 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 		rep.EquivIterations, rep.EquivFilters, err = routeEquivalence(ctx, out, base, opts)
 	case Strawman1:
 		opts.progress("equivalence", 1)
-		rep.EquivIterations, rep.EquivFilters, err = strawman1(out, base)
+		rep.EquivIterations, rep.EquivFilters, err = strawman1(out, base, opts)
 	case Strawman2:
 		rep.EquivIterations, rep.EquivFilters, err = strawman2(ctx, out, base, opts)
 	default:
@@ -232,7 +242,7 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 	if !opts.SkipRouteAnonymity && opts.KH > 1 {
 		opts.progress("anonymity", 0)
 		t0 = time.Now()
-		hosts, filters, err := routeAnonymity(out, pool, base, opts.KH, opts.NoiseP, rng)
+		hosts, filters, err := routeAnonymity(out, pool, base, opts, rng)
 		if err != nil {
 			return nil, nil, fmt.Errorf("anonymize: route anonymity: %w", err)
 		}
@@ -271,8 +281,8 @@ type baseline struct {
 	nextHops map[string]map[string]map[string]bool
 }
 
-func newBaseline(cfg *config.Network) (*baseline, error) {
-	snap, err := sim.Simulate(cfg)
+func newBaseline(cfg *config.Network, simOpts sim.Options) (*baseline, error) {
+	snap, err := sim.SimulateOpts(cfg, simOpts)
 	if err != nil {
 		return nil, err
 	}

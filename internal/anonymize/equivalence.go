@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
+	"slices"
 	"sort"
 	"strings"
 
@@ -27,7 +28,7 @@ func addFilter(cfg *config.Network, view *sim.Net, r string, nh sim.NextHop, p n
 	if src == sim.SrcEBGP {
 		return addNeighborFilter(cfg, view, d, nh, p)
 	}
-	return addInterfaceFilter(d, nh.Iface, p)
+	return addInterfaceFilter(d, nh.Iface, p, src)
 }
 
 // addNeighborFilter denies p on the BGP session riding the link behind nh.
@@ -68,31 +69,59 @@ func addNeighborFilter(cfg *config.Network, view *sim.Net, d *config.Device, nh 
 	return false
 }
 
-// addInterfaceFilter denies p on the IGP inbound distribute-list of iface.
-func addInterfaceFilter(d *config.Device, iface string, p netip.Prefix) bool {
-	var filters map[string]string
-	switch {
-	case d.OSPF != nil:
-		if d.OSPF.InFilters == nil {
+// igpInFilters selects the inbound distribute-list map of the protocol
+// that learned the route, keyed by the route's source — not by whichever
+// protocol happens to be configured first. On a multi-protocol device the
+// old first-configured selection attached RIP/EIGRP denies to the OSPF
+// process, where they filter nothing, so Algorithm 1 stalled: the second
+// iteration saw the deny already present and reported no change while the
+// wrong route survived. SrcIBGP routes resolve their next hops through
+// OSPF, and the installation-time rejection point is the OSPF interface
+// filter (see bgpFIBRoutes), so they attach there too.
+//
+// When create is set a missing filter map is allocated; tag names the
+// protocol for generated list names, keeping the per-protocol lists of a
+// shared interface distinct.
+func igpInFilters(d *config.Device, src sim.Source, create bool) (filters map[string]string, tag string) {
+	switch src {
+	case sim.SrcOSPF, sim.SrcIBGP:
+		if d.OSPF == nil {
+			return nil, ""
+		}
+		if d.OSPF.InFilters == nil && create {
 			d.OSPF.InFilters = make(map[string]string)
 		}
-		filters = d.OSPF.InFilters
-	case d.EIGRP != nil:
-		if d.EIGRP.InFilters == nil {
+		return d.OSPF.InFilters, "OSPF"
+	case sim.SrcEIGRP:
+		if d.EIGRP == nil {
+			return nil, ""
+		}
+		if d.EIGRP.InFilters == nil && create {
 			d.EIGRP.InFilters = make(map[string]string)
 		}
-		filters = d.EIGRP.InFilters
-	case d.RIP != nil:
-		if d.RIP.InFilters == nil {
+		return d.EIGRP.InFilters, "EIGRP"
+	case sim.SrcRIP:
+		if d.RIP == nil {
+			return nil, ""
+		}
+		if d.RIP.InFilters == nil && create {
 			d.RIP.InFilters = make(map[string]string)
 		}
-		filters = d.RIP.InFilters
-	default:
+		return d.RIP.InFilters, "RIP"
+	}
+	return nil, ""
+}
+
+// addInterfaceFilter denies p on the inbound distribute-list of iface for
+// the protocol that learned the route.
+func addInterfaceFilter(d *config.Device, iface string, p netip.Prefix, src sim.Source) bool {
+	filters, tag := igpInFilters(d, src, true)
+	if filters == nil {
 		return false
 	}
 	name, ok := filters[iface]
 	if !ok {
-		name = "CMF-" + sanitize(iface)
+		name = "CMF-" + tag + "-" + sanitize(iface)
 		filters[iface] = name
 	}
 	pl := d.EnsurePrefixList(name)
@@ -127,15 +156,7 @@ func removeFilterDeny(cfg *config.Network, view *sim.Net, r string, nh sim.NextH
 		}
 		return false
 	}
-	var filters map[string]string
-	switch {
-	case d.OSPF != nil:
-		filters = d.OSPF.InFilters
-	case d.EIGRP != nil:
-		filters = d.EIGRP.InFilters
-	case d.RIP != nil:
-		filters = d.RIP.InFilters
-	}
+	filters, _ := igpInFilters(d, src, false)
 	if name, ok := filters[nh.Iface]; ok {
 		if pl := d.PrefixList(name); pl != nil {
 			return pl.RemoveDeny(p)
@@ -162,20 +183,29 @@ func sanitize(s string) string {
 // The loop ends when an iteration adds no filter, at which point the SFE
 // conditions hold; a final data-plane comparison asserts functional
 // equivalence. Cancellation is observed between iterations — each
-// iteration costs a full control-plane simulation, so this is where long
-// jobs must notice a dead context.
+// iteration costs a control-plane simulation, so this is where long jobs
+// must notice a dead context.
+//
+// The network view is built once and reused: the loop only adds
+// distribute-list entries, so each iteration re-derives just the filter
+// view (InvalidateFilters) instead of repeating link discovery, SPF, and
+// BGP session discovery.
 func routeEquivalence(ctx context.Context, out *config.Network, base *baseline, opts Options) (int, int, error) {
 	filters := 0
+	view, err := sim.Build(out)
+	if err != nil {
+		return 0, filters, err
+	}
 	maxIter := opts.MaxIterations
 	for iter := 1; iter <= maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return iter - 1, filters, err
 		}
 		opts.progress("equivalence", iter)
-		snap, err := sim.Simulate(out)
-		if err != nil {
-			return iter, filters, err
+		if iter > 1 {
+			view.InvalidateFilters()
 		}
+		snap := sim.SimulateNetOpts(view, opts.simOpts())
 		changed := 0
 		for _, r := range out.Routers() {
 			fib := snap.FIB(r)
@@ -213,21 +243,26 @@ func routeEquivalence(ctx context.Context, out *config.Network, base *baseline, 
 			dp := snap.DataPlaneFor(base.hosts)
 			if !sim.EqualOver(base.dp, dp, base.hosts) {
 				pairs := sim.DiffPairs(base.dp, dp, base.hosts)
+				if len(pairs) == 0 {
+					return iter, filters, fmt.Errorf("converged after %d iterations but data planes differ", iter)
+				}
 				return iter, filters, fmt.Errorf("converged after %d iterations but %d host pairs still differ (first: %v)", iter, len(pairs), pairs[0])
 			}
 			// External equivalence classes: every router's next-hop set
 			// must match the original exactly (the route-equivalence
-			// requirement extended to §9 Internet destinations).
+			// requirement extended to §9 Internet destinations). Compare
+			// the sorted slices element-wise — joined strings would let a
+			// name containing the separator alias a different set.
 			for _, r := range base.cfg.Routers() {
 				for _, p := range base.external {
-					got := strings.Join(snap.NextHopRouters(r, p), ",")
-					var want []string
+					got := snap.NextHopRouters(r, p)
+					want := make([]string, 0, len(base.nextHops[r][p.String()]))
 					for nh := range base.nextHops[r][p.String()] {
 						want = append(want, nh)
 					}
 					sort.Strings(want)
-					if got != strings.Join(want, ",") {
-						return iter, filters, fmt.Errorf("external destination %v diverged on %s: %q vs %q", p, r, got, strings.Join(want, ","))
+					if !slices.Equal(got, want) {
+						return iter, filters, fmt.Errorf("external destination %v diverged on %s: %q vs %q", p, r, got, want)
 					}
 				}
 			}

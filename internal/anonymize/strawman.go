@@ -14,7 +14,7 @@ import (
 // Listing 3's pattern. It fixes routing in one pass (a single simulation
 // verifies), but the unified pattern makes the fake links identifiable: the
 // interfaces that always bind a minimal shared deny set are the fakes.
-func strawman1(out *config.Network, base *baseline) (int, int, error) {
+func strawman1(out *config.Network, base *baseline, opts Options) (int, int, error) {
 	filters := 0
 	view, err := sim.Build(out)
 	if err != nil {
@@ -34,13 +34,16 @@ func strawman1(out *config.Network, base *baseline) (int, int, error) {
 			}
 		}
 	}
-	snap, err := sim.Simulate(out)
-	if err != nil {
-		return 1, filters, err
-	}
+	// Only filters were added, so the view is reusable for the verifying
+	// simulation after re-deriving the filter caches.
+	view.InvalidateFilters()
+	snap := sim.SimulateNetOpts(view, opts.simOpts())
 	dp := snap.DataPlaneFor(base.hosts)
 	if !sim.EqualOver(base.dp, dp, base.hosts) {
 		pairs := sim.DiffPairs(base.dp, dp, base.hosts)
+		if len(pairs) == 0 {
+			return 1, filters, fmt.Errorf("strawman1 left data planes different")
+		}
 		return 1, filters, fmt.Errorf("strawman1 left %d host pairs different (first: %v)", len(pairs), pairs[0])
 	}
 	return 1, filters, nil
@@ -101,16 +104,20 @@ func denyAllOn(cfg *config.Network, view *sim.Net, d *config.Device, i *config.I
 // single wrong hop per pair is repaired per (expensive) simulation round.
 func strawman2(ctx context.Context, out *config.Network, base *baseline, opts Options) (int, int, error) {
 	filters := 0
+	view, err := sim.Build(out)
+	if err != nil {
+		return 0, filters, err
+	}
 	maxIter := opts.MaxIterations
 	for iter := 1; iter <= maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return iter - 1, filters, err
 		}
 		opts.progress("equivalence", iter)
-		snap, err := sim.Simulate(out)
-		if err != nil {
-			return iter, filters, err
+		if iter > 1 {
+			view.InvalidateFilters()
 		}
+		snap := sim.SimulateNetOpts(view, opts.simOpts())
 		dp := snap.DataPlaneFor(base.hosts)
 		diffs := sim.DiffPairs(base.dp, dp, base.hosts)
 		if len(diffs) == 0 {

@@ -30,6 +30,10 @@ type Runner struct {
 	Full bool
 	// Nets restricts the catalog (nil = all eight networks).
 	Nets []netgen.Spec
+	// Parallelism is passed through to the simulation engine (0 =
+	// GOMAXPROCS). Results are identical at any setting, so cached runs
+	// stay comparable.
+	Parallelism int
 
 	bases map[string]*baseData
 	runs  map[runKey]*runData
@@ -81,7 +85,7 @@ func (r *Runner) base(spec netgen.Spec) (*baseData, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build %s: %w", spec.ID, err)
 	}
-	snap, err := sim.Simulate(cfg)
+	snap, err := sim.SimulateOpts(cfg, sim.Options{Parallelism: r.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: simulate %s: %w", spec.ID, err)
 	}
@@ -112,13 +116,14 @@ func (r *Runner) run(spec netgen.Spec, kR, kH int, strategy anonymize.Strategy) 
 	opts.Seed = r.Seed
 	opts.Strategy = strategy
 	opts.MaxIterations = 4096
+	opts.Parallelism = r.Parallelism
 	start := time.Now()
 	anon, rep, err := anonymize.Run(b.Cfg, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s k_R=%d k_H=%d %v: %w", spec.ID, kR, kH, strategy, err)
 	}
 	wall := time.Since(start)
-	snap, err := sim.Simulate(anon)
+	snap, err := sim.SimulateOpts(anon, sim.Options{Parallelism: r.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: simulate anonymized: %w", spec.ID, err)
 	}

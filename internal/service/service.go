@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -23,6 +24,10 @@ type Config struct {
 	// JobTimeout is the per-job wall-clock budget; jobs past it fail
 	// with a timeout error. Default 15 minutes.
 	JobTimeout time.Duration
+	// Parallelism is the default per-job simulation parallelism, applied
+	// when a job request leaves Options.Parallelism at 0. Zero keeps the
+	// engine default (GOMAXPROCS). Results are identical at any setting.
+	Parallelism int
 	// StageHook, when non-nil, observes every job progress callback
 	// synchronously on the job's worker goroutine. Test instrumentation:
 	// a blocking hook holds the pipeline inside a stage, which is how
@@ -185,6 +190,9 @@ func (s *Server) run(j *job) {
 
 	timer := &stageTimer{m: s.metrics}
 	opts := j.req.Options
+	if opts.Parallelism == 0 {
+		opts.Parallelism = s.cfg.Parallelism
+	}
 	opts.Progress = func(stage string, iteration int) {
 		now := time.Now()
 		timer.transition(stage, now)
@@ -301,10 +309,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	after := 0
 	if v := r.URL.Query().Get("after"); v != "" {
-		if _, err := fmt.Sscanf(v, "%d", &after); err != nil || after < 0 {
+		// Atoi, not Sscanf: %d scans a leading integer and ignores
+		// trailing garbage, silently accepting values like "3x".
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
 			writeError(w, http.StatusBadRequest, "bad after=%q", v)
 			return
 		}
+		after = n
 	}
 	follow := r.URL.Query().Get("follow") != "false"
 

@@ -124,9 +124,9 @@ func routerID(d *config.Device) netip.Addr {
 // point. The decision order is shortest AS path, then eBGP over iBGP, then
 // lowest IGP metric to the egress router, then lowest peer router ID — the
 // standard process restricted to the attributes our configs express.
-func (n *Net) runBGP(igp *ospfState) *bgpState {
+func (n *Net) runBGP(igp *ospfState, workers int) *bgpState {
 	st := &bgpState{best: make(map[string]map[netip.Prefix]bgpRoute)}
-	st.sessions = n.discoverSessions()
+	st.sessions = n.coreFor(workers).sessions
 
 	var speakers []string
 	asOf := make(map[string]int)
@@ -182,11 +182,22 @@ func (n *Net) runBGP(igp *ospfState) *bgpState {
 		return best
 	}
 
+	// Per-router best computation only reads origin and adj-RIB-in, so the
+	// fan-out writes index-addressed slots and the merged result matches a
+	// sequential run (bgpSelect's comparator is a total order).
+	recompute := func() {
+		bests := make([]map[netip.Prefix]bgpRoute, len(speakers))
+		forEachIndex(workers, len(speakers), func(i int) {
+			bests[i] = computeBest(speakers[i])
+		})
+		for i, r := range speakers {
+			st.best[r] = bests[i]
+		}
+	}
+
 	maxRounds := 4*len(speakers) + 10
 	for round := 0; round < maxRounds; round++ {
-		for _, r := range speakers {
-			st.best[r] = computeBest(r)
-		}
+		recompute()
 		// Build next adj-RIB-in from current bests, synchronously.
 		next := make(map[string]map[string]map[netip.Prefix]bgpRoute, len(speakers))
 		for _, r := range speakers {
@@ -223,9 +234,7 @@ func (n *Net) runBGP(igp *ospfState) *bgpState {
 		}
 		adjIn = next
 	}
-	for _, r := range speakers {
-		st.best[r] = computeBest(r)
-	}
+	recompute()
 	return st
 }
 

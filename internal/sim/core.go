@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// simCore is the filter-independent part of a simulation: everything that
+// depends only on devices, interfaces, links, protocol enablement, and
+// costs — never on route filters. It is derived once per Net (lazily, on
+// the first SimulateNet call) and survives InvalidateFilters, which is what
+// lets Algorithm 1 re-simulate after adding distribute-list entries without
+// re-running link discovery, SPF, or session discovery.
+//
+// The contract mirrors the paper's Algorithm 1: the fixing loop only adds
+// route filters, so the link-state database, the SPF distances, the
+// distance-vector adjacencies, and the BGP session graph are all invariant
+// across iterations. Any mutation beyond filters (interfaces, links,
+// neighbors, costs, protocol enablement) requires a fresh Build.
+type simCore struct {
+	ospf *ospfCore
+	// ospfLinks / ripLinks / eigrpLinks hold, per router, the incident
+	// links over which the protocol exchanges routes (both endpoint
+	// interfaces enabled), in linksOf order.
+	ospfLinks  map[string][]*Link
+	ripLinks   map[string][]*Link
+	eigrpLinks map[string][]*Link
+	// ripSpeakers / eigrpSpeakers list the routers running each
+	// distance-vector protocol, in Routers() order.
+	ripSpeakers   []string
+	eigrpSpeakers []string
+	// sessions is the discovered BGP session graph.
+	sessions []bgpSession
+}
+
+// ospfCore is the link-state part of the OSPF computation: filters only
+// remove next-hop candidates at RIB-installation time (IOS semantics), so
+// the cost graph, the SPF distances, and the per-prefix distances are all
+// filter-independent.
+type ospfCore struct {
+	// speakers lists the OSPF routers in Routers() order.
+	speakers []string
+	// graph is the directed cost graph over OSPF adjacencies.
+	graph *wgraph
+	// dist[r][x] is the SPF distance between routers in the same OSPF
+	// domain; routers in different domains are mutually unreachable.
+	dist map[string]map[string]int
+	// prefixes is every prefix advertised into OSPF, sorted.
+	prefixes []netip.Prefix
+	// distP[p][r] is the cheapest cost from router r to prefix p.
+	distP map[netip.Prefix]map[string]int
+}
+
+// coreFor returns the Net's filter-independent core, building it on first
+// use. The once-init makes concurrent SimulateNet calls on the same Net
+// safe; workers only sizes the pool used for the initial SPF fan-out.
+func (n *Net) coreFor(workers int) *simCore {
+	n.coreOnce.Do(func() { n.core = n.buildCore(workers) })
+	return n.core
+}
+
+// buildCore derives the filter-independent simulation state.
+func (n *Net) buildCore(workers int) *simCore {
+	c := &simCore{
+		ospfLinks:  make(map[string][]*Link),
+		ripLinks:   make(map[string][]*Link),
+		eigrpLinks: make(map[string][]*Link),
+	}
+	for _, r := range n.Cfg.Routers() {
+		d := n.Cfg.Device(r)
+		if d.RIP != nil {
+			c.ripSpeakers = append(c.ripSpeakers, r)
+		}
+		if d.EIGRP != nil {
+			c.eigrpSpeakers = append(c.eigrpSpeakers, r)
+		}
+		for _, l := range n.linksOf[r] {
+			if n.ospfLinkEnabled(l) {
+				c.ospfLinks[r] = append(c.ospfLinks[r], l)
+			}
+			if n.ripLinkEnabled(l) {
+				c.ripLinks[r] = append(c.ripLinks[r], l)
+			}
+			if n.eigrpLinkEnabled(l) {
+				c.eigrpLinks[r] = append(c.eigrpLinks[r], l)
+			}
+		}
+	}
+	c.sessions = n.discoverSessions()
+	c.ospf = n.buildOSPFCore(workers)
+	return c
+}
+
+// adv is one stub-prefix advertisement into OSPF: the advertising router
+// and the advertising interface's cost.
+type adv struct {
+	router string
+	cost   int
+}
+
+// buildOSPFCore computes the link-state view: the cost graph, all-pairs
+// SPF distances, and per-prefix distances.
+func (n *Net) buildOSPFCore(workers int) *ospfCore {
+	c := &ospfCore{
+		graph: newWGraph(),
+		dist:  make(map[string]map[string]int),
+		distP: make(map[netip.Prefix]map[string]int),
+	}
+	for _, r := range n.Cfg.Routers() {
+		if n.Cfg.Device(r).OSPF != nil {
+			c.speakers = append(c.speakers, r)
+		}
+	}
+	if len(c.speakers) == 0 {
+		return c
+	}
+
+	// Directed cost graph over enabled router-router links.
+	for _, l := range n.Links {
+		if !n.ospfLinkEnabled(l) {
+			continue
+		}
+		ia := n.Cfg.Device(l.A.Device).Interface(l.A.Iface)
+		ib := n.Cfg.Device(l.B.Device).Interface(l.B.Iface)
+		c.graph.add(l.A.Device, l.B.Device, ia.Cost(), l)
+		c.graph.add(l.B.Device, l.A.Device, ib.Cost(), l)
+	}
+	c.dist = c.graph.allPairs(c.speakers, workers)
+
+	// Advertised stub prefixes: every enabled connected interface prefix,
+	// at the advertising interface's cost.
+	advs := make(map[netip.Prefix][]adv)
+	for _, r := range c.speakers {
+		d := n.Cfg.Device(r)
+		for _, i := range d.Interfaces {
+			if ospfEnabled(d, i) {
+				p := i.Addr.Masked()
+				advs[p] = append(advs[p], adv{router: r, cost: i.Cost()})
+			}
+		}
+	}
+	c.prefixes = sortedPrefixes(advs)
+
+	// distP[p][r]: cheapest cost from router r to prefix p; independent
+	// per prefix, so the fan-out writes index-addressed slots.
+	dps := make([]map[string]int, len(c.prefixes))
+	forEachIndex(workers, len(c.prefixes), func(i int) {
+		dp := make(map[string]int)
+		for _, a := range advs[c.prefixes[i]] {
+			for r := range c.dist {
+				da, ok := c.dist[r][a.router]
+				if !ok {
+					continue
+				}
+				total := da + a.cost
+				if cur, ok := dp[r]; !ok || total < cur {
+					dp[r] = total
+				}
+			}
+		}
+		dps[i] = dp
+	})
+	for i, p := range c.prefixes {
+		c.distP[p] = dps[i]
+	}
+	return c
+}
+
+// sortedPrefixes returns the map's keys in address order.
+func sortedPrefixes[V any](m map[netip.Prefix]V) []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Addr().Compare(out[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}

@@ -44,15 +44,11 @@ func (n *Net) eigrpLinkEnabled(l *Link) bool {
 // incoming interface. Inbound distribute-lists drop matching
 // advertisements — the distance-vector SFE condition 2 mechanism, exactly
 // as for RIP.
-func (n *Net) runEIGRP() map[string]map[netip.Prefix]*Route {
+func (n *Net) runEIGRP(workers int) map[string]map[netip.Prefix]*Route {
 	out := make(map[string]map[netip.Prefix]*Route)
 
-	var speakers []string
-	for _, r := range n.Cfg.Routers() {
-		if n.Cfg.Device(r).EIGRP != nil {
-			speakers = append(speakers, r)
-		}
-	}
+	core := n.coreFor(workers)
+	speakers := core.eigrpSpeakers
 	if len(speakers) == 0 {
 		return out
 	}
@@ -78,9 +74,10 @@ func (n *Net) runEIGRP() map[string]map[netip.Prefix]*Route {
 
 	maxRounds := len(speakers) + 4
 	for round := 0; round < maxRounds; round++ {
-		next := make(map[string]map[netip.Prefix]ripEntry, len(speakers))
-		changed := false
-		for _, r := range speakers {
+		nvs := make([]map[netip.Prefix]ripEntry, len(speakers))
+		diffs := make([]bool, len(speakers))
+		forEachIndex(workers, len(speakers), func(idx int) {
+			r := speakers[idx]
 			d := n.Cfg.Device(r)
 			nv := make(map[netip.Prefix]ripEntry)
 			for p, e := range vec[r] {
@@ -88,10 +85,7 @@ func (n *Net) runEIGRP() map[string]map[netip.Prefix]*Route {
 					nv[p] = e // connected originations are authoritative
 				}
 			}
-			for _, l := range n.linksOf[r] {
-				if !n.eigrpLinkEnabled(l) {
-					continue
-				}
+			for _, l := range core.eigrpLinks[r] {
 				local, _ := l.Local(r)
 				other, _ := l.Other(r)
 				li := d.Interface(local.Iface)
@@ -114,10 +108,14 @@ func (n *Net) runEIGRP() map[string]map[netip.Prefix]*Route {
 					}
 				}
 			}
-			next[r] = nv
-			if !changed && !ripVecEqual(vec[r], nv) {
-				changed = true
-			}
+			nvs[idx] = nv
+			diffs[idx] = !ripVecEqual(vec[r], nv)
+		})
+		next := make(map[string]map[netip.Prefix]ripEntry, len(speakers))
+		changed := false
+		for i, r := range speakers {
+			next[r] = nvs[i]
+			changed = changed || diffs[i]
 		}
 		vec = next
 		if !changed {

@@ -42,7 +42,7 @@ func TestWGraphDijkstraAsymmetric(t *testing.T) {
 func TestWGraphAllPairsIncludesExtras(t *testing.T) {
 	g := newWGraph()
 	g.add("a", "b", 1, nil)
-	ap := g.allPairs([]string{"isolated"})
+	ap := g.allPairs([]string{"isolated"}, 1)
 	if _, ok := ap["isolated"]; !ok {
 		t.Fatal("extra source missing")
 	}
@@ -149,7 +149,10 @@ func TestDeniesCache(t *testing.T) {
 	p2 := netip.MustParsePrefix("10.2.0.0/24")
 	pl.Deny(p1)
 	pl.Rules = append(pl.Rules, config.PrefixRule{Seq: 100, Prefix: netip.MustParsePrefix("0.0.0.0/0"), Le: 32})
-	n := &Net{}
+	cfg := config.NewNetwork()
+	cfg.Add(d)
+	n := &Net{Cfg: cfg}
+	n.buildDenyCache()
 	if !n.denies(d, "L", p1) {
 		t.Fatal("deny missed")
 	}
@@ -162,6 +165,64 @@ func TestDeniesCache(t *testing.T) {
 	// Cached decision stays stable.
 	if !n.denies(d, "L", p1) || n.denies(d, "L", p2) {
 		t.Fatal("cache inconsistent")
+	}
+	// Filter mutations are invisible until InvalidateFilters re-derives
+	// the cache — the contract Algorithm 1's incremental loop relies on.
+	// Use a tail-free list: Deny appends, and a permit-any tail would
+	// shadow the new rule under first-match-wins.
+	plN := d.EnsurePrefixList("N")
+	plN.Deny(p1)
+	n.InvalidateFilters()
+	plN.Deny(p2)
+	if n.denies(d, "N", p2) {
+		t.Fatal("cache updated without InvalidateFilters")
+	}
+	n.InvalidateFilters()
+	if !n.denies(d, "N", p2) {
+		t.Fatal("InvalidateFilters missed new deny")
+	}
+	plN.RemoveDeny(p2)
+	n.InvalidateFilters()
+	if n.denies(d, "N", p2) {
+		t.Fatal("InvalidateFilters kept removed deny")
+	}
+}
+
+func TestDeniesRangedDenyRule(t *testing.T) {
+	// A deny carrying `le` must match every covered longer prefix — the
+	// simulator used to skip all ranged rules, silently ignoring such
+	// denies even though the rendered config enforces them.
+	d := &config.Device{Hostname: "r"}
+	pl := d.EnsurePrefixList("L")
+	pl.Rules = append(pl.Rules,
+		config.PrefixRule{Seq: 5, Deny: true, Prefix: netip.MustParsePrefix("10.1.0.0/16"), Le: 32},
+		config.PrefixRule{Seq: 10, Prefix: netip.MustParsePrefix("0.0.0.0/0"), Le: 32},
+	)
+	cfg := config.NewNetwork()
+	cfg.Add(d)
+	n := &Net{Cfg: cfg}
+	n.buildDenyCache()
+	if !n.denies(d, "L", netip.MustParsePrefix("10.1.2.0/24")) {
+		t.Fatal("ranged deny skipped")
+	}
+	if !n.denies(d, "L", netip.MustParsePrefix("10.1.0.0/16")) {
+		t.Fatal("ranged deny missed exact prefix")
+	}
+	if n.denies(d, "L", netip.MustParsePrefix("10.2.0.0/24")) {
+		t.Fatal("ranged deny over-matched")
+	}
+	// First-match-wins: an earlier exact permit shields a later ranged deny.
+	pl2 := d.EnsurePrefixList("M")
+	pl2.Rules = append(pl2.Rules,
+		config.PrefixRule{Seq: 5, Prefix: netip.MustParsePrefix("10.1.2.0/24")},
+		config.PrefixRule{Seq: 10, Deny: true, Prefix: netip.MustParsePrefix("10.1.0.0/16"), Le: 32},
+	)
+	n.InvalidateFilters()
+	if n.denies(d, "M", netip.MustParsePrefix("10.1.2.0/24")) {
+		t.Fatal("permit before ranged deny ignored")
+	}
+	if !n.denies(d, "M", netip.MustParsePrefix("10.1.3.0/24")) {
+		t.Fatal("ranged deny after permit skipped")
 	}
 }
 

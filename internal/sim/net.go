@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"confmask/internal/config"
 	"confmask/internal/topology"
@@ -75,38 +76,113 @@ type Net struct {
 	HostOfPrefix map[netip.Prefix]string
 	GatewayOf    map[string]string
 
-	// denyCache memoizes per-(device, prefix-list) deny decisions; the
-	// route computation consults filters once per candidate next hop, so
-	// linear rule scans would dominate on filter-heavy networks (e.g.
-	// the strawman-1 baseline). The cache is valid for the lifetime of
-	// this Net — configurations must not be mutated between Build and
-	// the simulation run, which the pipeline guarantees by rebuilding.
-	denyCache map[string]map[netip.Prefix]bool
+	// denyCache precomputes per-(device, prefix-list) deny decisions at
+	// Build time; the route computation consults filters once per
+	// candidate next hop, so linear rule scans would dominate on
+	// filter-heavy networks (e.g. the strawman-1 baseline). Because it
+	// is filled eagerly and never written during simulation, concurrent
+	// route workers read it without locks. After mutating filters (and
+	// only filters), call InvalidateFilters to re-derive it; any other
+	// configuration change requires a fresh Build.
+	denyCache map[string]*listEval
+
+	// core caches the filter-independent simulation state (SPF, enabled
+	// links, BGP sessions); built once on first use, kept across
+	// InvalidateFilters. See simCore.
+	coreOnce sync.Once
+	core     *simCore
 }
 
-// denies reports whether the named prefix list on the device denies p,
-// memoizing exact-match rule decisions.
+// listEval is the precomputed evaluation of one (device, prefix-list)
+// pair. Most lists are a run of exact-match rules optionally closed by a
+// permit-any tail; those collapse to a single map lookup. Lists carrying a
+// ranged deny (a deny rule with `le`) — which the simulator used to drop
+// silently even though the rendered config enforces them — fall back to a
+// first-match scan of the full rule set.
+type listEval struct {
+	// exact holds the first-match decision per rule prefix; valid only
+	// when ranged is false.
+	exact map[netip.Prefix]bool
+	// ranged marks lists needing the ordered scan; rules is then the
+	// full rule list.
+	ranged bool
+	rules  []config.PrefixRule
+}
+
+// denies reports whether the named prefix list on the device denies p.
+// Read-only after Build/InvalidateFilters, so safe from concurrent route
+// workers.
 func (n *Net) denies(d *config.Device, list string, p netip.Prefix) bool {
-	key := d.Hostname + "\x00" + list
-	cached, ok := n.denyCache[key]
+	ev, ok := n.denyCache[d.Hostname+"\x00"+list]
 	if !ok {
-		cached = make(map[netip.Prefix]bool)
-		if pl := d.PrefixList(list); pl != nil {
-			for _, r := range pl.Rules {
-				if r.Le > 0 {
-					continue // permit-any tails; never deny rules here
-				}
-				if _, seen := cached[r.Prefix]; !seen {
-					cached[r.Prefix] = r.Deny
-				}
-			}
-		}
-		if n.denyCache == nil {
-			n.denyCache = make(map[string]map[netip.Prefix]bool)
-		}
-		n.denyCache[key] = cached
+		return false // unknown list: no match, permits
 	}
-	return cached[p.Masked()]
+	q := p.Masked()
+	if !ev.ranged {
+		return ev.exact[q]
+	}
+	for _, r := range ev.rules {
+		if r.Prefix == q || (r.Le >= q.Bits() && r.Prefix.Overlaps(q) && r.Prefix.Bits() <= q.Bits()) {
+			return r.Deny
+		}
+	}
+	return false
+}
+
+// buildDenyCache precomputes the deny decision tables for every prefix
+// list of every device.
+func (n *Net) buildDenyCache() {
+	cache := make(map[string]*listEval)
+	for _, name := range n.Cfg.Names() {
+		d := n.Cfg.Device(name)
+		for _, pl := range d.PrefixLists {
+			cache[name+"\x00"+pl.Name] = compileList(pl)
+		}
+	}
+	n.denyCache = cache
+}
+
+// compileList classifies a prefix list: exact-only (possibly with a
+// trailing ranged permit-any, which cannot flip any decision) gets the
+// fast map; anything containing a ranged deny keeps the ordered rules.
+func compileList(pl *config.PrefixList) *listEval {
+	fast := true
+	for i, r := range pl.Rules {
+		if r.Le == 0 {
+			continue
+		}
+		if !r.Deny && i == len(pl.Rules)-1 {
+			continue // permit-any tail: unmatched prefixes permit anyway
+		}
+		fast = false
+		break
+	}
+	if !fast {
+		return &listEval{ranged: true, rules: append([]config.PrefixRule(nil), pl.Rules...)}
+	}
+	exact := make(map[netip.Prefix]bool, len(pl.Rules))
+	for _, r := range pl.Rules {
+		if r.Le > 0 {
+			continue // the permit-any tail
+		}
+		if _, seen := exact[r.Prefix]; !seen {
+			exact[r.Prefix] = r.Deny
+		}
+	}
+	return &listEval{exact: exact}
+}
+
+// InvalidateFilters re-derives the filter view (the deny cache) from the
+// current configurations. Call it after adding or removing distribute-list
+// entries — the only mutation Algorithm 1 performs — to reuse this Net for
+// another SimulateNet instead of rebuilding: link discovery, SPF, and BGP
+// session discovery are filter-independent and stay cached. Mutating
+// anything else (interfaces, links, neighbors, costs, protocol
+// enablement) invalidates the whole view and requires a fresh Build.
+//
+// Not safe concurrently with a running SimulateNet on the same Net.
+func (n *Net) InvalidateFilters() {
+	n.buildDenyCache()
 }
 
 // Build derives the simulation view from configurations. It returns an
@@ -140,17 +216,7 @@ func Build(cfg *config.Network) (*Net, error) {
 
 	// Each subnet with ≥2 members yields pairwise links (a multi-access
 	// segment becomes a clique, which preserves hop-by-hop reachability).
-	prefixes := make([]netip.Prefix, 0, len(groups))
-	for p := range groups {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(i, j int) bool {
-		if c := prefixes[i].Addr().Compare(prefixes[j].Addr()); c != 0 {
-			return c < 0
-		}
-		return prefixes[i].Bits() < prefixes[j].Bits()
-	})
-	for _, p := range prefixes {
+	for _, p := range sortedPrefixes(groups) {
 		ms := groups[p]
 		sort.Slice(ms, func(i, j int) bool { return ms[i].dev < ms[j].dev })
 		for i := 0; i < len(ms); i++ {
@@ -204,6 +270,7 @@ func Build(cfg *config.Network) (*Net, error) {
 		}
 		n.GatewayOf[h] = gw
 	}
+	n.buildDenyCache()
 	return n, nil
 }
 
@@ -253,17 +320,7 @@ func (n *Net) ExternalDestinations() []netip.Prefix {
 			}
 		}
 	}
-	out := make([]netip.Prefix, 0, len(seen))
-	for p := range seen {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if c := out[i].Addr().Compare(out[j].Addr()); c != 0 {
-			return c < 0
-		}
-		return out[i].Bits() < out[j].Bits()
-	})
-	return out
+	return sortedPrefixes(seen)
 }
 
 // RouterNeighbors returns, for a router, the set of adjacent routers in

@@ -46,81 +46,33 @@ type ospfState struct {
 	routes map[string]map[netip.Prefix]*Route
 }
 
-// runOSPF computes OSPF routes for every OSPF-speaking router.
+// runOSPF computes OSPF routes for every OSPF-speaking router. The
+// link-state view (cost graph, SPF distances, per-prefix distances) comes
+// from the Net's cached core; only the per-router, filter-dependent route
+// tables are recomputed, fanned out across the worker pool.
 //
 // Filters (distribute-list in on an interface) remove the corresponding
 // next-hop candidates at RIB-installation time on the filtering router
 // only; the link-state database itself is unaffected, matching IOS
 // semantics and the "edge is rejected" clause of the paper's SFE
 // conditions for link-state protocols.
-func (n *Net) runOSPF() *ospfState {
+func (n *Net) runOSPF(workers int) *ospfState {
+	core := n.coreFor(workers)
+	oc := core.ospf
 	st := &ospfState{
-		dist:   make(map[string]map[string]int),
-		graph:  newWGraph(),
-		routes: make(map[string]map[netip.Prefix]*Route),
+		dist:   oc.dist,
+		graph:  oc.graph,
+		routes: make(map[string]map[netip.Prefix]*Route, len(oc.speakers)),
 	}
-
-	var speakers []string
-	for _, r := range n.Cfg.Routers() {
-		if n.Cfg.Device(r).OSPF != nil {
-			speakers = append(speakers, r)
-		}
-	}
-	if len(speakers) == 0 {
+	if len(oc.speakers) == 0 {
 		return st
 	}
 
-	// Directed cost graph over enabled router-router links.
-	for _, l := range n.Links {
-		if !n.ospfLinkEnabled(l) {
-			continue
-		}
-		ia := n.Cfg.Device(l.A.Device).Interface(l.A.Iface)
-		ib := n.Cfg.Device(l.B.Device).Interface(l.B.Iface)
-		st.graph.add(l.A.Device, l.B.Device, ia.Cost(), l)
-		st.graph.add(l.B.Device, l.A.Device, ib.Cost(), l)
-	}
-	st.dist = st.graph.allPairs(speakers)
-
-	// Advertised stub prefixes: every enabled connected interface prefix,
-	// at the advertising interface's cost.
-	type adv struct {
-		router string
-		cost   int
-	}
-	advs := make(map[netip.Prefix][]adv)
-	for _, r := range speakers {
-		d := n.Cfg.Device(r)
-		for _, i := range d.Interfaces {
-			if ospfEnabled(d, i) {
-				p := i.Addr.Masked()
-				advs[p] = append(advs[p], adv{router: r, cost: i.Cost()})
-			}
-		}
-	}
-
-	// distP[p][r]: cheapest cost from router r to prefix p.
-	distP := make(map[netip.Prefix]map[string]int, len(advs))
-	for p, as := range advs {
-		dp := make(map[string]int)
-		for _, a := range as {
-			for r, dr := range st.dist {
-				da, ok := st.dist[r][a.router]
-				_ = dr
-				if !ok {
-					continue
-				}
-				total := da + a.cost
-				if cur, ok := dp[r]; !ok || total < cur {
-					dp[r] = total
-				}
-			}
-		}
-		distP[p] = dp
-	}
-
-	// Per-router route computation with hop-by-hop candidate selection.
-	for _, r := range speakers {
+	// Per-router route computation with hop-by-hop candidate selection;
+	// routers are independent, so each worker fills its own table slot.
+	tables := make([]map[netip.Prefix]*Route, len(oc.speakers))
+	forEachIndex(workers, len(oc.speakers), func(idx int) {
+		r := oc.speakers[idx]
 		d := n.Cfg.Device(r)
 		connected := make(map[netip.Prefix]bool)
 		for _, i := range d.Interfaces {
@@ -129,19 +81,16 @@ func (n *Net) runOSPF() *ospfState {
 			}
 		}
 		table := make(map[netip.Prefix]*Route)
-		for p := range advs {
+		for _, p := range oc.prefixes {
 			if connected[p] {
 				continue // connected route wins; OSPF never overrides it
 			}
 			best := -1
 			var nhs []NextHop
-			for _, l := range n.linksOf[r] {
-				if !n.ospfLinkEnabled(l) {
-					continue
-				}
+			for _, l := range core.ospfLinks[r] {
 				local, _ := l.Local(r)
 				other, _ := l.Other(r)
-				dn, ok := distP[p][other.Device]
+				dn, ok := oc.distP[p][other.Device]
 				if !ok {
 					continue
 				}
@@ -162,7 +111,10 @@ func (n *Net) runOSPF() *ospfState {
 				table[p] = &Route{Prefix: p, Source: SrcOSPF, Metric: best, NextHops: sortNextHops(nhs)}
 			}
 		}
-		st.routes[r] = table
+		tables[idx] = table
+	})
+	for i, r := range oc.speakers {
+		st.routes[r] = tables[i]
 	}
 	return st
 }

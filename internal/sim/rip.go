@@ -45,15 +45,13 @@ type ripEntry struct {
 // runRIP computes RIP routes with synchronous Bellman–Ford iteration until
 // convergence. Inbound distribute-lists on the receiving interface drop the
 // matching advertisements — the distance-vector SFE condition 2 mechanism.
-func (n *Net) runRIP() map[string]map[netip.Prefix]*Route {
+// Within a round every router's next vector depends only on the previous
+// round's vectors, so the per-router work fans out across the worker pool.
+func (n *Net) runRIP(workers int) map[string]map[netip.Prefix]*Route {
 	out := make(map[string]map[netip.Prefix]*Route)
 
-	var speakers []string
-	for _, r := range n.Cfg.Routers() {
-		if n.Cfg.Device(r).RIP != nil {
-			speakers = append(speakers, r)
-		}
-	}
+	core := n.coreFor(workers)
+	speakers := core.ripSpeakers
 	if len(speakers) == 0 {
 		return out
 	}
@@ -82,9 +80,10 @@ func (n *Net) runRIP() map[string]map[netip.Prefix]*Route {
 	// against pathological oscillation.
 	maxRounds := len(speakers) + 4
 	for round := 0; round < maxRounds; round++ {
-		next := make(map[string]map[netip.Prefix]ripEntry, len(speakers))
-		changed := false
-		for _, r := range speakers {
+		nvs := make([]map[netip.Prefix]ripEntry, len(speakers))
+		diffs := make([]bool, len(speakers))
+		forEachIndex(workers, len(speakers), func(idx int) {
+			r := speakers[idx]
 			d := n.Cfg.Device(r)
 			nv := make(map[netip.Prefix]ripEntry)
 			// Connected entries are authoritative.
@@ -93,10 +92,7 @@ func (n *Net) runRIP() map[string]map[netip.Prefix]*Route {
 					nv[p] = e
 				}
 			}
-			for _, l := range n.linksOf[r] {
-				if !n.ripLinkEnabled(l) {
-					continue
-				}
+			for _, l := range core.ripLinks[r] {
 				local, _ := l.Local(r)
 				other, _ := l.Other(r)
 				for p, e := range vec[other.Device] {
@@ -121,10 +117,14 @@ func (n *Net) runRIP() map[string]map[netip.Prefix]*Route {
 					}
 				}
 			}
-			next[r] = nv
-			if !changed && !ripVecEqual(vec[r], nv) {
-				changed = true
-			}
+			nvs[idx] = nv
+			diffs[idx] = !ripVecEqual(vec[r], nv)
+		})
+		next := make(map[string]map[netip.Prefix]ripEntry, len(speakers))
+		changed := false
+		for i, r := range speakers {
+			next[r] = nvs[i]
+			changed = changed || diffs[i]
 		}
 		vec = next
 		if !changed {

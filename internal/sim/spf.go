@@ -1,6 +1,9 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // arc is a directed weighted edge of the SPF graph. The cost is that of the
 // outgoing interface on the source router, matching OSPF semantics where
@@ -68,16 +71,30 @@ func (g *wgraph) dijkstra(src string) map[string]int {
 }
 
 // allPairs runs Dijkstra from every node that has outgoing arcs plus the
-// provided extra sources, returning dist[src][dst].
-func (g *wgraph) allPairs(extra []string) map[string]map[string]int {
-	out := make(map[string]map[string]int, len(g.arcs))
+// provided extra sources, returning dist[src][dst]. The per-source runs
+// are independent, so they fan out across the worker pool; each writes its
+// own result slot, keeping the output identical to a sequential run.
+func (g *wgraph) allPairs(extra []string, workers int) map[string]map[string]int {
+	seen := make(map[string]bool, len(g.arcs)+len(extra))
+	srcs := make([]string, 0, len(g.arcs)+len(extra))
 	for n := range g.arcs {
-		out[n] = g.dijkstra(n)
+		seen[n] = true
+		srcs = append(srcs, n)
 	}
 	for _, n := range extra {
-		if _, ok := out[n]; !ok {
-			out[n] = g.dijkstra(n)
+		if !seen[n] {
+			seen[n] = true
+			srcs = append(srcs, n)
 		}
+	}
+	sort.Strings(srcs)
+	dists := make([]map[string]int, len(srcs))
+	forEachIndex(workers, len(srcs), func(i int) {
+		dists[i] = g.dijkstra(srcs[i])
+	})
+	out := make(map[string]map[string]int, len(srcs))
+	for i, n := range srcs {
+		out[n] = dists[i]
 	}
 	return out
 }

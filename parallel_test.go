@@ -1,0 +1,48 @@
+package confmask
+
+import (
+	"testing"
+)
+
+// TestParallelismByteIdentical runs the full pipeline sequentially and
+// with a parallel worker pool over every built-in evaluation network at a
+// fixed seed and requires the rendered configurations to match byte for
+// byte. This is the determinism contract of Options.Parallelism: the
+// engine only fans out independent per-router work, merged in a fixed
+// order, so the knob trades wall clock for CPU and nothing else.
+func TestParallelismByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog pipeline comparison")
+	}
+	for _, name := range ExampleNetworks() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			configs := exampleConfigs(t, name)
+			seq := DefaultOptions()
+			seq.Seed = 7
+			seq.Parallelism = 1
+			seqOut, _, err := Anonymize(configs, seq)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			par := seq
+			par.Parallelism = 4
+			parOut, _, err := Anonymize(configs, par)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if len(seqOut) != len(parOut) {
+				t.Fatalf("device counts differ: %d vs %d", len(seqOut), len(parOut))
+			}
+			for dev, want := range seqOut {
+				got, ok := parOut[dev]
+				if !ok {
+					t.Fatalf("device %s missing from parallel output", dev)
+				}
+				if got != want {
+					t.Fatalf("device %s differs between sequential and parallel runs", dev)
+				}
+			}
+		})
+	}
+}
