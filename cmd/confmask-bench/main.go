@@ -7,10 +7,13 @@
 //	confmask-bench [-seed N] [-full] [-only table2,fig5,...]
 //
 // -full includes the slowest strawman-2 runs (Bics, USCarrier); without it
-// those rows print as "skipped".
+// those rows print as "skipped". The "dataplane" experiment additionally
+// writes its measurements as JSON (-dataplane-out, default
+// BENCH_dataplane.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +29,7 @@ func main() {
 	full := flag.Bool("full", false, "include the slowest strawman-2 runs")
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	parallelism := flag.Int("parallelism", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	dataplaneOut := flag.String("dataplane-out", "BENCH_dataplane.json", "file the dataplane experiment writes its measurements to (empty = don't write)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -84,6 +88,9 @@ func main() {
 	}
 	if want("security") {
 		must(printSecurity(r))
+	}
+	if want("dataplane") {
+		must(printDataPlane(r, *dataplaneOut))
 	}
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
 }
@@ -290,6 +297,31 @@ func printSecurity(r *experiments.Runner) error {
 			row.Net, row.DenyPatternCM, row.DenyPatternS1, row.SPTTruePos, row.Unconfigured, row.MaxReidentConfidence)
 	}
 	fmt.Println("(expected: deny-S1 >> deny-CM; SPT-TP = 0; unconf = 0; max-reid ≤ 1/k_R)")
+	return nil
+}
+
+func printDataPlane(r *experiments.Runner, out string) error {
+	rows, err := r.DataPlaneBench()
+	if err != nil {
+		return err
+	}
+	header("Data-plane extraction engine (full seq/par + one dirty fixing round)")
+	fmt.Printf("%-11s %5s %6s %9s %9s %11s %11s %6s\n", "Network", "|H|", "pairs", "seq-ms", "par-ms", "full-rnd-ms", "dirty-rnd-ms", "dirty")
+	for _, row := range rows {
+		fmt.Printf("%-11s %5d %6d %9.2f %9.2f %11.2f %11.2f %6d\n",
+			row.Net, row.Hosts, row.Pairs, row.SeqMS, row.ParMS, row.FullRoundMS, row.DirtyRoundMS, row.DirtyDests)
+	}
+	if out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
 	return nil
 }
 

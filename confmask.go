@@ -142,6 +142,11 @@ type Report struct {
 	UC         float64
 	// Duration is the end-to-end pipeline wall time.
 	Duration time.Duration
+	// Stages is the per-stage wall-time breakdown, keyed by the Stage*
+	// constants ("preprocess", "topology", "equivalence", "anonymity",
+	// "render"). Stages that did not run (e.g. "anonymity" with KH=1) are
+	// absent.
+	Stages map[string]time.Duration
 }
 
 // parseAny parses configurations in either supported syntax, auto-detected
@@ -202,7 +207,18 @@ func AnonymizeContext(ctx context.Context, configs map[string]string, o Options)
 	if o.Progress != nil {
 		o.Progress(StageRender, 0)
 	}
+	renderStart := time.Now()
 	out := renderAs(anon, syntax)
+	renderTime := time.Since(renderStart)
+	stages := map[string]time.Duration{
+		StagePreprocess:  rep.Timing.Preprocess,
+		StageTopology:    rep.Timing.Topology,
+		StageEquivalence: rep.Timing.RouteEquiv,
+		StageRender:      renderTime,
+	}
+	if rep.Timing.RouteAnon > 0 {
+		stages[StageAnonymity] = rep.Timing.RouteAnon
+	}
 	r := &Report{
 		FakeHosts:    append([]string(nil), rep.FakeHosts...),
 		FakeRouters:  append([]string(nil), rep.FakeRouters...),
@@ -211,7 +227,8 @@ func AnonymizeContext(ctx context.Context, configs map[string]string, o Options)
 		LinesAdded:   rep.AddedLines.Total(),
 		LinesTotal:   rep.TotalLines,
 		UC:           rep.UC,
-		Duration:     rep.Timing.Total(),
+		Duration:     rep.Timing.Total() + renderTime,
+		Stages:       stages,
 	}
 	for _, e := range rep.FakeEdges {
 		r.FakeLinks = append(r.FakeLinks, e.A+"<->"+e.B)

@@ -109,16 +109,23 @@ func strawman2(ctx context.Context, out *config.Network, base *baseline, opts Op
 		return 0, filters, err
 	}
 	maxIter := opts.MaxIterations
+	// Each fixing round adds filters for a handful of destination
+	// prefixes; the diff from InvalidateFilters lets DataPlaneForDirty
+	// re-trace only those destinations and carry the rest of the previous
+	// round's data plane forward.
+	var prev *sim.DataPlane
+	var diff *sim.FilterDiff
 	for iter := 1; iter <= maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return iter - 1, filters, err
 		}
 		opts.progress("equivalence", iter)
 		if iter > 1 {
-			view.InvalidateFilters()
+			diff = view.InvalidateFilters()
 		}
 		snap := sim.SimulateNetOpts(view, opts.simOpts())
-		dp := snap.DataPlaneFor(base.hosts)
+		dp := snap.DataPlaneForDirty(base.hosts, prev, diff)
+		prev = dp
 		diffs := sim.DiffPairs(base.dp, dp, base.hosts)
 		if len(diffs) == 0 {
 			return iter, filters, nil

@@ -84,6 +84,13 @@ type Event struct {
 	// Iteration is the Algorithm 1 / strawman fixing iteration (≥ 1) for
 	// "equivalence" progress events.
 	Iteration int `json:"iteration,omitempty"`
+	// PrevStage and PrevStageMS report the just-completed stage and its
+	// wall-clock duration, on the event that closes it: the next stage's
+	// progress event, or the terminal event for the last stage. Together
+	// with the /metrics stage histograms they give per-stage timing
+	// without diffing event timestamps.
+	PrevStage   string `json:"prev_stage,omitempty"`
+	PrevStageMS int64  `json:"prev_stage_ms,omitempty"`
 	// Message annotates non-progress events ("queued", "cancel
 	// requested", ...).
 	Message string `json:"message,omitempty"`
@@ -165,15 +172,21 @@ func (j *job) appendEventLocked(e Event) {
 	j.changed = make(chan struct{})
 }
 
-// setProgress records a pipeline stage transition as an event.
-func (j *job) setProgress(stage string, iteration int) {
+// setProgress records a pipeline stage transition as an event; prevStage
+// and prevDur describe the stage the transition closed (prevStage "" when
+// none, e.g. the first stage or an iteration within one stage).
+func (j *job) setProgress(stage string, iteration int, prevStage string, prevDur time.Duration) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
 		return // a late callback after cancellation; drop it
 	}
 	j.stage, j.iteration = stage, iteration
-	j.appendEventLocked(Event{State: j.state, Stage: stage, Iteration: iteration})
+	e := Event{State: j.state, Stage: stage, Iteration: iteration}
+	if prevStage != "" {
+		e.PrevStage, e.PrevStageMS = prevStage, prevDur.Milliseconds()
+	}
+	j.appendEventLocked(e)
 }
 
 // start transitions queued → running; it returns false when the job was
@@ -195,8 +208,9 @@ func (j *job) start(cancel func(), now time.Time) bool {
 	return true
 }
 
-// finish records the terminal state once the pipeline returned.
-func (j *job) finish(state State, result map[string]string, report *confmask.Report, errMsg string, now time.Time) {
+// finish records the terminal state once the pipeline returned; prevStage
+// and prevDur close the last open pipeline stage ("" when none ran).
+func (j *job) finish(state State, result map[string]string, report *confmask.Report, errMsg string, now time.Time, prevStage string, prevDur time.Duration) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = state
@@ -207,6 +221,9 @@ func (j *job) finish(state State, result map[string]string, report *confmask.Rep
 	j.stage, j.iteration = "", 0
 	j.cancel = nil
 	e := Event{State: state, Time: now}
+	if prevStage != "" {
+		e.PrevStage, e.PrevStageMS = prevStage, prevDur.Milliseconds()
+	}
 	switch state {
 	case StateDone:
 		e.Message = "done"

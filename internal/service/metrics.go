@@ -124,17 +124,22 @@ type stageTimer struct {
 	start time.Time
 }
 
-func (t *stageTimer) transition(stage string, now time.Time) {
+// transition switches the open stage clock, returning the stage it closed
+// and its wall-clock duration ("" when no stage ended) so callers can put
+// the sample on the job's event log as well.
+func (t *stageTimer) transition(stage string, now time.Time) (closed string, d time.Duration) {
 	if t.stage == stage {
-		return // equivalence iterations stay within one stage clock
+		return "", 0 // equivalence iterations stay within one stage clock
 	}
 	if t.stage != "" {
-		t.m.observeStage(t.stage, now.Sub(t.start))
+		closed, d = t.stage, now.Sub(t.start)
+		t.m.observeStage(closed, d)
 	}
 	t.stage, t.start = stage, now
+	return closed, d
 }
 
 // finish closes the clock of the last open stage.
-func (t *stageTimer) finish(now time.Time) {
-	t.transition("", now)
+func (t *stageTimer) finish(now time.Time) (closed string, d time.Duration) {
+	return t.transition("", now)
 }

@@ -137,7 +137,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case j := <-s.queue:
 			s.metrics.QueueDepth.Add(-1)
 			j.requestCancel()
-			j.finish(StateCancelled, nil, nil, "server shutting down", time.Now())
+			j.finish(StateCancelled, nil, nil, "server shutting down", time.Now(), "", 0)
 			s.store.unindexHash(j)
 			s.metrics.JobsCancelled.Add(1)
 		default:
@@ -195,29 +195,29 @@ func (s *Server) run(j *job) {
 	}
 	opts.Progress = func(stage string, iteration int) {
 		now := time.Now()
-		timer.transition(stage, now)
-		j.setProgress(stage, iteration)
+		closed, d := timer.transition(stage, now)
+		j.setProgress(stage, iteration, closed, d)
 		if s.cfg.StageHook != nil {
 			s.cfg.StageHook(j.id, stage, iteration)
 		}
 	}
 	result, report, err := confmask.AnonymizeContext(ctx, j.req.Configs, opts)
 	now := time.Now()
-	timer.finish(now)
+	closed, d := timer.finish(now)
 	switch {
 	case err == nil:
-		j.finish(StateDone, result, report, "", now)
+		j.finish(StateDone, result, report, "", now, closed, d)
 		s.metrics.JobsDone.Add(1)
 	case errors.Is(err, context.Canceled):
-		j.finish(StateCancelled, nil, nil, "cancelled", now)
+		j.finish(StateCancelled, nil, nil, "cancelled", now, closed, d)
 		s.store.unindexHash(j)
 		s.metrics.JobsCancelled.Add(1)
 	case errors.Is(err, context.DeadlineExceeded):
-		j.finish(StateFailed, nil, nil, fmt.Sprintf("job exceeded timeout %v", s.cfg.JobTimeout), now)
+		j.finish(StateFailed, nil, nil, fmt.Sprintf("job exceeded timeout %v", s.cfg.JobTimeout), now, closed, d)
 		s.store.unindexHash(j)
 		s.metrics.JobsFailed.Add(1)
 	default:
-		j.finish(StateFailed, nil, nil, err.Error(), now)
+		j.finish(StateFailed, nil, nil, err.Error(), now, closed, d)
 		s.store.unindexHash(j)
 		s.metrics.JobsFailed.Add(1)
 	}

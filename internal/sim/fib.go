@@ -41,7 +41,7 @@ func SimulateNetOpts(n *Net, opts Options) *Snapshot {
 	eigrp := n.runEIGRP(workers)
 	bgp := n.runBGP(igp, workers)
 
-	snap := &Snapshot{Net: n, FIBs: make(map[string]FIB, len(n.Cfg.Devices)), OSPFDist: igp.dist}
+	snap := &Snapshot{Net: n, FIBs: make(map[string]FIB, len(n.Cfg.Devices)), OSPFDist: igp.dist, workers: workers}
 	names := n.Cfg.Names()
 	fibs := make([]FIB, len(names))
 	forEachIndex(workers, len(names), func(i int) {

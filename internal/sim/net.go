@@ -85,6 +85,10 @@ type Net struct {
 	// only filters), call InvalidateFilters to re-derive it; any other
 	// configuration change requires a fresh Build.
 	denyCache map[string]*listEval
+	// filterState is the last captured filter view (deny tables plus
+	// attachment points); InvalidateFilters diffs against it to report
+	// which destination prefixes a filter mutation can affect.
+	filterState *filterState
 
 	// core caches the filter-independent simulation state (SPF, enabled
 	// links, BGP sessions); built once on first use, kept across
@@ -180,9 +184,20 @@ func compileList(pl *config.PrefixList) *listEval {
 // anything else (interfaces, links, neighbors, costs, protocol
 // enablement) invalidates the whole view and requires a fresh Build.
 //
+// The returned FilterDiff reports which destination prefixes may see a
+// different deny decision than under the previous view; pass it to
+// Snapshot.DataPlaneForDirty to re-trace only affected destinations.
+// Ignoring the result is always safe.
+//
 // Not safe concurrently with a running SimulateNet on the same Net.
-func (n *Net) InvalidateFilters() {
+func (n *Net) InvalidateFilters() *FilterDiff {
+	old := n.filterState
 	n.buildDenyCache()
+	n.filterState = n.captureFilterState()
+	if old == nil {
+		return &FilterDiff{all: true}
+	}
+	return diffFilterStates(old, n.filterState)
 }
 
 // Build derives the simulation view from configurations. It returns an
@@ -271,6 +286,7 @@ func Build(cfg *config.Network) (*Net, error) {
 		n.GatewayOf[h] = gw
 	}
 	n.buildDenyCache()
+	n.filterState = n.captureFilterState()
 	return n, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 )
 
 // Source identifies the protocol a route was installed from, ordered by
@@ -129,6 +130,19 @@ type Snapshot struct {
 	// OSPF domain. ConfMask reads it as min_cost(r, r′) when assigning
 	// fake-link costs (the link-state SFE condition).
 	OSPFDist map[string]map[string]int
+
+	// workers is the Parallelism the Snapshot was simulated with; it also
+	// sizes the worker pool for destination-sharded data-plane extraction.
+	workers int
+	// destEngines caches one path-enumeration engine per destination host
+	// (nil entries mark unknown destinations). FIBs are immutable once
+	// simulated, so the cache is valid for the Snapshot's whole lifetime.
+	destMu      sync.Mutex
+	destEngines map[string]*destEngine
+	// devNames/devIdx is the dense device index shared by all engines.
+	devOnce  sync.Once
+	devNames []string
+	devIdx   map[string]int32
 }
 
 // FIB returns the FIB of a device (nil when absent).

@@ -77,7 +77,24 @@ func (s *Snapshot) Trace(src, dst string) []Path { return s.TraceFrom(src, dst) 
 // TraceFrom is Trace with an arbitrary starting device (host or router).
 // Algorithm 2 of the paper uses it to check which fake hosts remain
 // reachable *from each router* after noise filters are added.
+//
+// The walk is served by the Snapshot's per-destination engine (see
+// dataplane.go), so repeated traces toward the same destination — the
+// shape of every caller — share path enumeration work. Returned paths are
+// cached: callers must treat them as read-only.
 func (s *Snapshot) TraceFrom(start, dst string) []Path {
+	e := s.engineFor(dst)
+	if e == nil {
+		return nil
+	}
+	ps, _ := e.pathsFor(start)
+	return ps
+}
+
+// traceNaive is the seed per-pair recursive walker, kept verbatim (plus
+// the key-once canonical sort) as the differential-testing and
+// benchmarking reference for the memoized engine.
+func (s *Snapshot) traceNaive(start, dst string) []Path {
 	dstPfx, ok := s.Net.HostPrefix[dst]
 	if !ok {
 		return nil
@@ -125,7 +142,7 @@ func (s *Snapshot) TraceFrom(start, dst string) []Path {
 		}
 	}
 	walk(start, nil, make(map[string]bool))
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	out, _ = sortPathsByKey(out)
 	return out
 }
 
@@ -144,9 +161,26 @@ func hostAddr(n *Net, host string) netip.Addr {
 type Pair struct{ Src, Dst string }
 
 // DataPlane is the collection of all host-to-host routing paths — the DP of
-// the paper's formalization.
+// the paper's formalization. Path slices are shared with the Snapshot's
+// per-destination caches: treat them as read-only.
 type DataPlane struct {
 	Pairs map[Pair][]Path
+	// fps holds each pair's canonical path-set fingerprint (the sorted
+	// path keys joined with "\n" — exactly pathSetKey of the pair's
+	// paths), precomputed at extraction so EqualOver/DiffPairs/
+	// ExactlyKeptFraction compare strings instead of re-sorting. Nil for
+	// hand-assembled DataPlanes, which fall back to pathSetKey.
+	fps map[Pair]string
+}
+
+// pairKey returns the pair's canonical path-set fingerprint.
+func (dp *DataPlane) pairKey(k Pair) string {
+	if dp.fps != nil {
+		if fp, ok := dp.fps[k]; ok {
+			return fp
+		}
+	}
+	return pathSetKey(dp.Pairs[k])
 }
 
 // ExtractDataPlane traces every ordered pair of hosts in the network.
@@ -155,15 +189,74 @@ func (s *Snapshot) ExtractDataPlane() *DataPlane {
 }
 
 // DataPlaneFor traces every ordered pair drawn from the given host list
-// (used to restrict the anonymized network's DP to real hosts).
+// (used to restrict the anonymized network's DP to real hosts). The work
+// is sharded by destination over the Snapshot's worker pool; results land
+// in index-addressed slots, so the output is identical at any parallelism.
 func (s *Snapshot) DataPlaneFor(hosts []string) *DataPlane {
-	dp := &DataPlane{Pairs: make(map[Pair][]Path, len(hosts)*(len(hosts)-1))}
-	for _, src := range hosts {
-		for _, dst := range hosts {
+	return s.dataPlaneFor(hosts, nil, nil)
+}
+
+// DataPlaneForDirty is DataPlaneFor carrying forward prior results: pairs
+// whose destination the filter diff does not affect are copied from prev
+// instead of re-traced. A nil diff (or nil prev) means everything is
+// dirty; an empty diff reuses prev wholesale. Correctness rests on the
+// per-destination FIB independence invariant documented in
+// InvalidateFilters.
+func (s *Snapshot) DataPlaneForDirty(hosts []string, prev *DataPlane, diff *FilterDiff) *DataPlane {
+	if prev == nil {
+		return s.dataPlaneFor(hosts, nil, nil)
+	}
+	return s.dataPlaneFor(hosts, prev, diff)
+}
+
+// dpColumn is one destination's column of the data plane: the paths and
+// fingerprints from every source in host-list order (the src==dst slot
+// stays nil).
+type dpColumn struct {
+	paths [][]Path
+	fps   []string
+}
+
+func (s *Snapshot) dataPlaneFor(hosts []string, prev *DataPlane, diff *FilterDiff) *DataPlane {
+	cols := make([]dpColumn, len(hosts))
+	forEachIndex(s.traceWorkers(), len(hosts), func(j int) {
+		dst := hosts[j]
+		col := dpColumn{paths: make([][]Path, len(hosts)), fps: make([]string, len(hosts))}
+		reuse := prev != nil && !diff.Affects(s.Net.HostPrefix[dst])
+		var e *destEngine
+		for i, src := range hosts {
 			if src == dst {
 				continue
 			}
-			dp.Pairs[Pair{Src: src, Dst: dst}] = s.Trace(src, dst)
+			k := Pair{Src: src, Dst: dst}
+			if reuse {
+				if ps, ok := prev.Pairs[k]; ok {
+					col.paths[i] = ps
+					col.fps[i] = prev.pairKey(k)
+					continue
+				}
+			}
+			if e == nil {
+				e = s.engineFor(dst)
+				if e == nil {
+					// Unknown destination: nil paths, like Trace.
+					break
+				}
+			}
+			col.paths[i], col.fps[i] = e.pathsFor(src)
+		}
+		cols[j] = col
+	})
+	n := len(hosts) * (len(hosts) - 1)
+	dp := &DataPlane{Pairs: make(map[Pair][]Path, n), fps: make(map[Pair]string, n)}
+	for j, dst := range hosts {
+		for i, src := range hosts {
+			if src == dst {
+				continue
+			}
+			k := Pair{Src: src, Dst: dst}
+			dp.Pairs[k] = cols[j].paths[i]
+			dp.fps[k] = cols[j].fps[i]
 		}
 	}
 	return dp
@@ -195,7 +288,7 @@ func DiffPairs(a, b *DataPlane, hosts []string) []Pair {
 				continue
 			}
 			k := Pair{Src: src, Dst: dst}
-			if pathSetKey(a.Pairs[k]) != pathSetKey(b.Pairs[k]) {
+			if a.pairKey(k) != b.pairKey(k) {
 				out = append(out, k)
 			}
 		}
@@ -222,7 +315,7 @@ func ExactlyKeptFraction(orig, anon *DataPlane, hosts []string) float64 {
 			}
 			total++
 			k := Pair{Src: src, Dst: dst}
-			if pathSetKey(orig.Pairs[k]) == pathSetKey(anon.Pairs[k]) {
+			if orig.pairKey(k) == anon.pairKey(k) {
 				kept++
 			}
 		}
