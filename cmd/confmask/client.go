@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,41 +50,99 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// callJSON performs one API request and decodes the response into out,
-// turning non-2xx responses into errors carrying the server's message.
+// Client-side retry policy. Every confmask API call is idempotent against
+// the daemon — submissions dedup by content hash, status/result are reads,
+// cancel converges — so transient failures (connection refused, 5xx) and
+// queue-full 429s are retried with capped exponential backoff. A 429's
+// Retry-After header, when present, overrides the computed backoff.
+const (
+	retryAttempts = 4
+	retryBase     = 250 * time.Millisecond
+	retryCap      = 5 * time.Second
+)
+
+// retryable classifies one attempt's failure by status code: 0 (no
+// response: connection refused, reset, timeout) and 429/5xx responses are
+// worth retrying, other HTTP errors are not.
+func retryable(code int) bool {
+	return code == 0 || code == http.StatusTooManyRequests || code >= 500
+}
+
+// callJSON performs one API request with retries and decodes the response
+// into out, turning non-2xx responses into errors carrying the server's
+// message.
 func callJSON(method, url string, body, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	backoff := retryBase
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		code, retryAfter, err := callJSONOnce(method, url, buf, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= retryAttempts || !retryable(code) {
+			return lastErr
+		}
+		delay := backoff
+		if retryAfter > 0 {
+			delay = retryAfter
+		}
+		fmt.Fprintf(os.Stderr, "request failed (%v); retrying in %v (attempt %d/%d)\n", err, delay, attempt, retryAttempts)
+		time.Sleep(delay)
+		backoff *= 2
+		if backoff > retryCap {
+			backoff = retryCap
+		}
+	}
+}
+
+// callJSONOnce performs a single attempt. It returns the HTTP status code
+// (0 when the request never got a response) and, for 429s, the parsed
+// Retry-After duration.
+func callJSONOnce(method, url string, body []byte, out any) (code int, retryAfter time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if n, perr := strconv.Atoi(s); perr == nil && n >= 0 {
+				retryAfter = time.Duration(n) * time.Second
+			}
+		}
 		var ae apiError
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, ae.Error)
+			return resp.StatusCode, retryAfter, fmt.Errorf("%s: %s", resp.Status, ae.Error)
 		}
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+		return resp.StatusCode, retryAfter, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
 	}
 	if out == nil {
-		return nil
+		return resp.StatusCode, 0, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return resp.StatusCode, 0, err
+	}
+	return resp.StatusCode, 0, nil
 }
 
 // streamEvents follows a job's NDJSON event stream, printing one line per

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	confmaskd [-addr :8619] [-workers N] [-queue N] [-job-timeout 15m]
+//	          [-data-dir DIR]
+//
+// With -data-dir the daemon is crash-safe: submissions and job events are
+// journaled, stage checkpoints are persisted, and a restart against the
+// same directory replays the journal — finished jobs stay queryable,
+// unfinished jobs re-enqueue and resume from their last checkpoint with
+// results byte-identical to an uninterrupted run.
 //
 // Endpoints:
 //
@@ -28,12 +35,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"confmask/internal/faults"
 	"confmask/internal/service"
 	"confmask/internal/version"
 )
@@ -43,28 +52,51 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrent anonymization jobs")
 	queue := flag.Int("queue", 64, "max queued jobs before submissions get 429")
 	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job wall-clock budget")
-	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for running jobs before cancelling them")
+	stageTimeout := flag.Duration("stage-timeout", 10*time.Minute, "watchdog: max time a pipeline stage may go without progress")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for running jobs before stopping them")
 	parallelism := flag.Int("parallelism", 0, "default per-job simulation parallelism (0 = GOMAXPROCS; jobs may override)")
+	dataDir := flag.String("data-dir", "", "journal directory for crash-safe job recovery (empty = in-memory only)")
+	maxRestarts := flag.Int("max-restarts", 3, "max daemon starts that may execute one journaled job before it fails")
+	faultSpec := flag.String("fault", "", "fault injection spec for chaos testing, e.g. 'service.journal.sync=drop,worker.run=panic@2' (testing only)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("confmaskd", version.String())
 		return
 	}
+	if *faultSpec != "" {
+		if err := faults.ArmSpec(*faultSpec); err != nil {
+			log.Fatalf("bad -fault spec: %v", err)
+		}
+		log.Printf("FAULT INJECTION ARMED: %s", *faultSpec)
+	}
 
-	svc := service.New(service.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		JobTimeout:  *jobTimeout,
-		Parallelism: *parallelism,
+	svc, err := service.Open(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		JobTimeout:   *jobTimeout,
+		StageTimeout: *stageTimeout,
+		Parallelism:  *parallelism,
+		DataDir:      *dataDir,
+		MaxRestarts:  *maxRestarts,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+	if err != nil {
+		log.Fatalf("open service: %v", err)
+	}
+
+	// Listen before announcing: with -addr 127.0.0.1:0 the kernel picks the
+	// port, and supervisors (and the recovery tests) parse it from the log.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: svc}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("confmaskd %s listening on %s (%d workers, queue %d, job timeout %v)",
-			version.String(), *addr, *workers, *queue, *jobTimeout)
-		errc <- httpSrv.ListenAndServe()
+		log.Printf("confmaskd %s listening on %s (%d workers, queue %d, job timeout %v, data dir %q)",
+			version.String(), ln.Addr(), *workers, *queue, *jobTimeout, *dataDir)
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	sigc := make(chan os.Signal, 1)
@@ -81,9 +113,11 @@ func main() {
 	// Drain the job service first — new submissions already get 503, but
 	// clients can keep polling status and following event streams while
 	// running jobs finish; those streams end as jobs reach terminal
-	// states, which is what lets the HTTP shutdown below return.
+	// states, which is what lets the HTTP shutdown below return. With a
+	// data dir, jobs still running at the deadline are requeued durably
+	// (draining → requeued) instead of cancelled.
 	if err := svc.Shutdown(ctx); err != nil {
-		log.Printf("drain timed out, running jobs were cancelled")
+		log.Printf("drain timed out, remaining jobs were stopped")
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)

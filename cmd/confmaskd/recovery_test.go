@@ -1,0 +1,283 @@
+package main
+
+// End-to-end crash recovery: a real confmaskd process is SIGKILLed in the
+// middle of a job — no drain, no warning — and a second process started on
+// the same -data-dir must finish both the interrupted job and the one
+// still queued, with results byte-identical to an uninterrupted in-process
+// run. This is the acceptance test for the durable journal + stage
+// checkpoint machinery; the in-process variants live in internal/service.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"syscall"
+	"testing"
+	"time"
+
+	"confmask"
+)
+
+var listenRE = regexp.MustCompile(`listening on (\S+:\d+)`)
+
+// daemon is one spawned confmaskd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startDaemon launches the binary and waits for its listen line.
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		d := &daemon{cmd: cmd, base: "http://" + addr}
+		t.Cleanup(func() {
+			if d.cmd.Process != nil {
+				_ = d.cmd.Process.Kill()
+				_ = d.cmd.Wait()
+			}
+		})
+		return d
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("daemon never announced its listen address")
+		return nil
+	}
+}
+
+// kill9 delivers SIGKILL and reaps the process.
+func (d *daemon) kill9(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = d.cmd.Wait()
+}
+
+type wireStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Stage    string `json:"stage"`
+	Error    string `json:"error"`
+	Restarts int    `json:"restarts"`
+}
+
+func (d *daemon) submit(t *testing.T, configs map[string]string, opts confmask.Options) wireStatus {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"configs": configs, "options": opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	var st wireStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func (d *daemon) status(t *testing.T, id string) (wireStatus, error) {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/jobs/" + id)
+	if err != nil {
+		return wireStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return wireStatus{}, fmt.Errorf("status %s: %s", id, resp.Status)
+	}
+	var st wireStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return wireStatus{}, err
+	}
+	return st, nil
+}
+
+func (d *daemon) result(t *testing.T, id string) map[string]string {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result %s: %s", id, resp.Status)
+	}
+	var doc struct {
+		Configs map[string]string `json:"configs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Configs
+}
+
+func (d *daemon) waitDone(t *testing.T, id string, timeout time.Duration) wireStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, err := d.status(t, id)
+		if err == nil {
+			switch st.State {
+			case "done":
+				return st
+			case "failed", "cancelled":
+				t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return wireStatus{}
+}
+
+func TestSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	bin := filepath.Join(t.TempDir(), "confmaskd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build confmaskd: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	configs, err := confmask.GenerateExample("Enterprise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsA := confmask.Options{KR: 6, KH: 3, NoiseP: 0.5, Seed: 1001}
+	optsB := confmask.Options{KR: 6, KH: 2, NoiseP: 0.1, Seed: 1002}
+
+	// Reference outputs from uninterrupted in-process runs.
+	wantA, _, err := confmask.Anonymize(configs, optsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, _, err := confmask.Anonymize(configs, optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First daemon: one worker so job B stays queued behind job A, and a
+	// delay fault in the equivalence stage to hold the kill window open.
+	d1 := startDaemon(t, bin,
+		"-workers", "1",
+		"-data-dir", dataDir,
+		"-fault", "anonymize.stage.equivalence=delay:300ms",
+	)
+	stA := d1.submit(t, configs, optsA)
+	stB := d1.submit(t, configs, optsB)
+	if stA.ID == stB.ID {
+		t.Fatal("distinct requests deduplicated")
+	}
+
+	// Wait until job A is visibly inside the equivalence stage (its
+	// topology checkpoint is on disk; the journal shows it running), then
+	// kill the daemon without any warning.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := d1.status(t, stA.ID)
+		if err == nil && st.State == "running" && st.Stage == "equivalence" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job A never reached equivalence")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	d1.kill9(t)
+
+	// The second daemon replays the journal: job A resumes from its last
+	// checkpoint, job B runs from scratch. No fault flag this time.
+	d2 := startDaemon(t, bin, "-workers", "2", "-data-dir", dataDir)
+	finalA := d2.waitDone(t, stA.ID, 2*time.Minute)
+	finalB := d2.waitDone(t, stB.ID, 2*time.Minute)
+	if finalA.Restarts != 1 {
+		t.Errorf("job A restarts = %d, want 1", finalA.Restarts)
+	}
+	if finalB.Restarts != 0 {
+		t.Errorf("job B restarts = %d, want 0", finalB.Restarts)
+	}
+
+	for _, tc := range []struct {
+		id   string
+		want map[string]string
+		name string
+	}{
+		{stA.ID, wantA, "killed mid-equivalence"},
+		{stB.ID, wantB, "queued at kill"},
+	} {
+		got := d2.result(t, tc.id)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: %d configs, want %d", tc.name, len(got), len(tc.want))
+		}
+		for name, text := range tc.want {
+			if got[name] != text {
+				t.Fatalf("%s: config %s differs from uninterrupted run", tc.name, name)
+			}
+		}
+	}
+
+	// The journal directory must reflect the finished state: results on
+	// disk, checkpoints cleaned up.
+	for _, id := range []string{stA.ID, stB.ID} {
+		if _, err := os.Stat(filepath.Join(dataDir, "jobs", id, "result.json")); err != nil {
+			t.Errorf("job %s result not persisted: %v", id, err)
+		}
+		if _, err := os.Stat(filepath.Join(dataDir, "jobs", id, "checkpoint.json")); !os.IsNotExist(err) {
+			t.Errorf("job %s checkpoint not cleaned up (err %v)", id, err)
+		}
+	}
+
+	// A third start over a fully-terminal journal must replay cleanly and
+	// still serve the old results.
+	d2.kill9(t)
+	d3 := startDaemon(t, bin, "-data-dir", dataDir)
+	st, err := d3.status(t, stA.ID)
+	if err != nil || st.State != "done" {
+		t.Fatalf("done job after re-replay: %+v, %v", st, err)
+	}
+	got := d3.result(t, stA.ID)
+	for name, text := range wantA {
+		if got[name] != text {
+			t.Fatalf("re-replayed result: config %s differs", name)
+		}
+	}
+}

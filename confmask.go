@@ -71,7 +71,26 @@ type Options struct {
 	// it is ignored by JSON encoding (daemon job requests carry every
 	// other field).
 	Progress ProgressFunc `json:"-"`
+	// Checkpoint, when non-nil, receives a resumable pipeline snapshot
+	// after each completed stage (topology, equivalence, anonymity).
+	// Like Progress it runs synchronously on the pipeline goroutine and
+	// is excluded from JSON; confmaskd persists these snapshots so a
+	// restarted daemon resumes jobs instead of replaying them.
+	Checkpoint func(*Checkpoint) `json:"-"`
+	// Resume, when non-nil, restarts the pipeline from the checkpoint:
+	// completed stages are skipped and the random stream is
+	// fast-forwarded, so the output is byte-identical to an
+	// uninterrupted run with the same configs and options (seed
+	// included). Excluded from JSON: a resumed job is still the same job.
+	Resume *Checkpoint `json:"-"`
 }
+
+// Checkpoint is a resumable pipeline snapshot: the intermediate network in
+// rendered form plus the bookkeeping (random-stream position, artifact
+// marks, partial report) needed to continue a run in a fresh process with
+// byte-identical output. It JSON-round-trips, which is how the service
+// journal stores it.
+type Checkpoint = anonymize.StageCheckpoint
 
 // ProgressFunc observes pipeline progress. Stages arrive in order:
 // "preprocess", "topology", "equivalence" (once per Algorithm 1 /
@@ -109,6 +128,8 @@ func (o Options) internal() (anonymize.Options, error) {
 	opts.FakeRouters = o.FakeRouters
 	opts.Parallelism = o.Parallelism
 	opts.Progress = o.Progress
+	opts.Checkpoint = o.Checkpoint
+	opts.Resume = o.Resume
 	switch strings.ToLower(o.Strategy) {
 	case "", "confmask":
 		opts.Strategy = anonymize.ConfMask

@@ -1,6 +1,7 @@
 package anonymize
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -19,7 +20,10 @@ import (
 // that breaks a fake host's reachability.
 //
 // It returns the fake host names and the number of noise filters kept.
-func routeAnonymity(out *config.Network, pool *netaddr.Pool, base *baseline, opts Options, rng *rand.Rand) ([]string, int, error) {
+// Cancellation is observed between repair rounds (each costs a filter
+// re-derivation plus dirty re-traces), the same granularity as
+// Algorithm 1's per-iteration checks.
+func routeAnonymity(ctx context.Context, out *config.Network, pool *netaddr.Pool, base *baseline, opts Options, rng *rand.Rand) ([]string, int, error) {
 	kH, p := opts.KH, opts.NoiseP
 	gw := base.snap.Net.GatewayOf
 	var fakeHosts []string
@@ -110,6 +114,9 @@ func routeAnonymity(out *config.Network, pool *netaddr.Pool, base *baseline, opt
 	// independence, see sim.FilterDiff).
 	broken := make(map[string]bool)
 	for round := 0; round <= len(recs); round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		diff := view.InvalidateFilters()
 		snap = sim.SimulateNetOpts(view, opts.simOpts())
 		removedAny := false

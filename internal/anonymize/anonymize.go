@@ -91,6 +91,21 @@ type Options struct {
 	// non-iterative stages). It runs synchronously on the pipeline
 	// goroutine and must be fast.
 	Progress func(stage string, iteration int)
+	// Checkpoint, when non-nil, receives a resumable StageCheckpoint
+	// after each completed stage ("topology", "equivalence",
+	// "anonymity"). It runs synchronously on the pipeline goroutine;
+	// persisting the snapshot (and any retries doing so) happens on the
+	// job's time budget, which is intentional — a checkpoint that cannot
+	// be stored is a job that cannot claim durability.
+	Checkpoint func(*StageCheckpoint)
+	// Resume, when non-nil, restarts the pipeline from the checkpoint:
+	// stages up to and including Resume.Stage are skipped, the
+	// intermediate network is reloaded from the checkpoint, and the RNG
+	// is fast-forwarded to the recorded stream position, so the final
+	// output is byte-identical to the uninterrupted run. The caller must
+	// pass the same original configurations and options (including the
+	// seed) as the interrupted run.
+	Resume *StageCheckpoint
 }
 
 // progress reports a stage transition when a callback is configured.
@@ -172,12 +187,16 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	src := newCountingSource(opts.Seed)
+	rng := rand.New(src)
 	rep := &Report{}
 	origStats := cfg.LineStats()
 
 	// Preprocessing: simulate the original network, recording its
 	// topology, data plane, and per-router next hops as the baseline.
+	// This always reruns, resume or not — it is a pure function of the
+	// original input and checkpointing its large derived state would cost
+	// more than recomputing it.
 	opts.progress("preprocess", 0)
 	t0 := time.Now()
 	base, err := newBaseline(cfg, opts.simOpts())
@@ -188,67 +207,87 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 
 	out := cfg.Clone()
 	pool := netaddr.NewPool(cfg.UsedPrefixes(), nil)
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-
-	// Step 0.5 (extension, §9): scale obfuscation with fake routers.
-	if opts.FakeRouters > 0 {
-		names, err := addFakeRouters(out, pool, base, opts.FakeRouters, rng)
+	resumed := 0 // rank of the checkpointed stage being resumed from
+	if opts.Resume != nil {
+		out, pool, rep, err = resumeState(opts.Resume, src)
 		if err != nil {
-			return nil, nil, fmt.Errorf("anonymize: fake routers: %w", err)
+			return nil, nil, err
 		}
-		rep.FakeRouters = names
+		resumed = stageRank(opts.Resume.Stage)
 	}
-
-	// Step 1: topology anonymization.
-	opts.progress("topology", 0)
-	t0 = time.Now()
-	fake, err := anonymizeTopology(out, pool, base, opts.KR, rng)
-	if err != nil {
-		return nil, nil, fmt.Errorf("anonymize: topology: %w", err)
-	}
-	rep.FakeEdges = fake
-	rep.Timing.Topology = time.Since(t0)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 
-	// Step 2.1: route equivalence.
-	t0 = time.Now()
-	switch opts.Strategy {
-	case ConfMask:
-		rep.EquivIterations, rep.EquivFilters, err = routeEquivalence(ctx, out, base, opts)
-	case Strawman1:
-		opts.progress("equivalence", 1)
-		rep.EquivIterations, rep.EquivFilters, err = strawman1(out, base, opts)
-	case Strawman2:
-		rep.EquivIterations, rep.EquivFilters, err = strawman2(ctx, out, base, opts)
-	default:
-		err = fmt.Errorf("unknown strategy %v", opts.Strategy)
-	}
-	if err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, nil, ctxErr
+	if resumed < stageRank("topology") {
+		// Step 0.5 (extension, §9): scale obfuscation with fake routers.
+		if opts.FakeRouters > 0 {
+			names, err := addFakeRouters(out, pool, base, opts.FakeRouters, rng)
+			if err != nil {
+				return nil, nil, fmt.Errorf("anonymize: fake routers: %w", err)
+			}
+			rep.FakeRouters = names
 		}
-		return nil, nil, fmt.Errorf("anonymize: route equivalence (%v): %w", opts.Strategy, err)
-	}
-	rep.Timing.RouteEquiv = time.Since(t0)
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
 
-	// Step 2.2: route anonymity.
-	if !opts.SkipRouteAnonymity && opts.KH > 1 {
-		opts.progress("anonymity", 0)
+		// Step 1: topology anonymization.
+		opts.progress("topology", 0)
 		t0 = time.Now()
-		hosts, filters, err := routeAnonymity(out, pool, base, opts, rng)
+		fake, err := anonymizeTopology(out, pool, base, opts.KR, rng)
 		if err != nil {
-			return nil, nil, fmt.Errorf("anonymize: route anonymity: %w", err)
+			return nil, nil, fmt.Errorf("anonymize: topology: %w", err)
 		}
-		rep.FakeHosts = hosts
-		rep.AnonFilters = filters
-		rep.Timing.RouteAnon = time.Since(t0)
+		rep.FakeEdges = fake
+		rep.Timing.Topology = time.Since(t0)
+		opts.emitCheckpoint("topology", out, src, rep)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	if resumed < stageRank("equivalence") {
+		// Step 2.1: route equivalence.
+		t0 = time.Now()
+		switch opts.Strategy {
+		case ConfMask:
+			rep.EquivIterations, rep.EquivFilters, err = routeEquivalence(ctx, out, base, opts)
+		case Strawman1:
+			opts.progress("equivalence", 1)
+			rep.EquivIterations, rep.EquivFilters, err = strawman1(out, base, opts)
+		case Strawman2:
+			rep.EquivIterations, rep.EquivFilters, err = strawman2(ctx, out, base, opts)
+		default:
+			err = fmt.Errorf("unknown strategy %v", opts.Strategy)
+		}
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, nil, ctxErr
+			}
+			return nil, nil, fmt.Errorf("anonymize: route equivalence (%v): %w", opts.Strategy, err)
+		}
+		rep.Timing.RouteEquiv = time.Since(t0)
+		opts.emitCheckpoint("equivalence", out, src, rep)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	if resumed < stageRank("anonymity") {
+		// Step 2.2: route anonymity.
+		if !opts.SkipRouteAnonymity && opts.KH > 1 {
+			opts.progress("anonymity", 0)
+			t0 = time.Now()
+			hosts, filters, err := routeAnonymity(ctx, out, pool, base, opts, rng)
+			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, nil, ctxErr
+				}
+				return nil, nil, fmt.Errorf("anonymize: route anonymity: %w", err)
+			}
+			rep.FakeHosts = hosts
+			rep.AnonFilters = filters
+			rep.Timing.RouteAnon = time.Since(t0)
+			opts.emitCheckpoint("anonymity", out, src, rep)
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err

@@ -1,0 +1,48 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at both configuration parsers. The
+// parsers sit on the daemon's submission path — a panic here is a panic
+// inside a worker — so the invariant is simple: any input either parses or
+// returns an error, and whatever parses must survive a render → re-parse
+// round trip (the same round trip the checkpoint resume machinery relies
+// on).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"hostname r1\n",
+		"hostname r1\ninterface GigabitEthernet0/0\n ip address 10.0.0.1 255.255.255.0\n!\n",
+		"hostname r1\nrouter ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n!\n",
+		"hostname r1\nrouter bgp 65001\n neighbor 10.0.0.2 remote-as 65002\n!\n",
+		"hostname h1\n! device: host\ninterface eth0\n ip address 192.168.1.10 255.255.255.0\n!\n",
+		"ip access-list standard BLOCK\n deny 10.1.0.0 0.0.255.255\n permit any\n!\n",
+		"ip prefix-list PL seq 5 permit 10.0.0.0/8 le 24\n",
+		"set system host-name r1\nset interfaces ge-0/0/0 unit 0 family inet address 10.0.0.1/24\n",
+		"set protocols ospf area 0.0.0.0 interface ge-0/0/0.0\n",
+		"hostname \x00weird\ninterface \xff\n",
+		strings.Repeat("interface Loopback0\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := ParseDevice(text)
+		if err == nil && d != nil {
+			// Round trip: rendering a parsed device and re-parsing it must
+			// succeed — the journal checkpoint format depends on it.
+			if _, rerr := ParseDevice(d.Render()); rerr != nil {
+				t.Fatalf("render of parsed device does not re-parse: %v", rerr)
+			}
+		}
+		jd, err := ParseJunosDevice(text)
+		if err == nil && jd != nil {
+			if _, rerr := ParseJunosDevice(jd.RenderJunos()); rerr != nil {
+				t.Fatalf("junos render of parsed device does not re-parse: %v", rerr)
+			}
+		}
+	})
+}

@@ -26,14 +26,14 @@ import (
 // statements.
 func (d *Device) RenderJunos() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "set system host-name %s\n", d.Hostname)
+	fmt.Fprintf(&b, "set system host-name %s\n", junosString(d.Hostname))
 	if d.Kind == HostKind {
 		b.WriteString("set system services host-endpoint\n")
 	}
 
 	for _, i := range d.Interfaces {
 		if i.Description != "" {
-			fmt.Fprintf(&b, "set interfaces %s description \"%s\"\n", i.Name, i.Description)
+			fmt.Fprintf(&b, "set interfaces %s description %s\n", i.Name, junosString(i.Description))
 		}
 		if i.Addr.IsValid() {
 			fmt.Fprintf(&b, "set interfaces %s unit 0 family inet address %s\n", i.Name, i.Addr)
@@ -42,7 +42,7 @@ func (d *Device) RenderJunos() string {
 			fmt.Fprintf(&b, "set interfaces %s delay %d\n", i.Name, i.Delay)
 		}
 		for _, x := range i.Extra {
-			fmt.Fprintf(&b, "set interfaces %s apply-macro extra \"%s\"\n", i.Name, strings.TrimSpace(x))
+			fmt.Fprintf(&b, "set interfaces %s apply-macro extra %s\n", i.Name, junosString(strings.TrimSpace(x)))
 		}
 	}
 
@@ -362,6 +362,18 @@ func atoiOr(s string, def int) int {
 		return v
 	}
 	return def
+}
+
+// junosString renders a free-form value (hostname, description) as a
+// single field fieldsQuoted will recover verbatim: values with spaces are
+// quoted, and embedded double quotes — which the field syntax cannot
+// represent — are dropped, matching what parsing them would yield anyway.
+func junosString(s string) string {
+	s = strings.ReplaceAll(s, `"`, "")
+	if strings.Contains(s, " ") {
+		return `"` + s + `"`
+	}
+	return s
 }
 
 // fieldsQuoted splits on spaces but keeps double-quoted spans as one field

@@ -47,6 +47,11 @@ func ParseDevice(text string) (*Device, error) {
 		}
 		indented := strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t")
 		f := strings.Fields(trimmed)
+		if len(f) == 0 {
+			// Unicode whitespace (\v, \f, …) survives the line trim above
+			// but yields no fields.
+			continue
+		}
 
 		if !indented {
 			cur = blkNone

@@ -1,0 +1,249 @@
+// Package faults is a deterministic fault-injection harness for crash and
+// failure testing. Production code declares named injection points by
+// calling Fire at the places where reality can go wrong — a journal append,
+// an fsync, a pipeline stage — and tests (or the hidden confmaskd -fault
+// flag) arm those points to panic, return an error, delay, or drop the
+// guarded operation.
+//
+// The design goals, in order:
+//
+//  1. Zero cost when nothing is armed: Fire is one atomic load.
+//  2. Determinism: a fault fires on exact hit counts, never on timers or
+//     randomness, so a chaos test that passes once passes always.
+//  3. Greppability: every injection point is a dotted literal string at its
+//     Fire call site ("service.journal.append", "worker.run", ...), so the
+//     full catalogue is one grep away.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an armed injection point does when it fires.
+type Mode int
+
+const (
+	// ModeError makes Fire return an error.
+	ModeError Mode = iota
+	// ModePanic makes Fire panic.
+	ModePanic
+	// ModeDelay makes Fire sleep for Injection.Delay, then return nil.
+	ModeDelay
+	// ModeDrop makes Fire return ErrDropped: the caller must skip the
+	// guarded operation (e.g. skip an fsync) but otherwise proceed.
+	ModeDrop
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	case ModeDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrDropped is returned by Fire at a point armed with ModeDrop. Callers
+// that guard a skippable side effect (an fsync, a cache write) check for it
+// with errors.Is and skip the effect.
+var ErrDropped = fmt.Errorf("faults: operation dropped")
+
+// Injection describes what happens at an armed point.
+type Injection struct {
+	// Mode selects the failure behavior.
+	Mode Mode
+	// Message annotates the injected panic or error; a default naming the
+	// point is used when empty.
+	Message string
+	// Delay is the sleep duration for ModeDelay.
+	Delay time.Duration
+	// On, when > 0, fires only on the On-th hit of the point (1-based) and
+	// disarms afterwards — "drop the process's NEXT fsync" is On: 1. When
+	// 0 the point fires on every hit.
+	On int
+}
+
+// armed is one registered injection with its hit counter.
+type armed struct {
+	inj  Injection
+	hits int
+}
+
+var (
+	// enabled is the fast-path gate: false ⇒ Fire returns nil immediately.
+	enabled atomic.Bool
+
+	mu     sync.Mutex
+	points map[string]*armed
+	// counts records every Fire call per point while any point is armed;
+	// tests use it to assert a code path actually passed an injection site.
+	counts map[string]int
+)
+
+// Arm registers an injection at the named point, replacing any previous one.
+func Arm(point string, inj Injection) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*armed)
+		counts = make(map[string]int)
+	}
+	points[point] = &armed{inj: inj}
+	enabled.Store(true)
+}
+
+// Disarm removes the injection at the named point.
+func Disarm(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, point)
+	if len(points) == 0 {
+		enabled.Store(false)
+	}
+}
+
+// Reset disarms every point and clears the hit counters. Tests that Arm
+// must defer a Reset.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	counts = nil
+	enabled.Store(false)
+}
+
+// Hits reports how many times Fire has been called for the point since the
+// last Reset, counting only calls made while some point was armed.
+func Hits(point string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return counts[point]
+}
+
+// Fire consults the registry for the named point. It returns nil when the
+// point is not armed (the overwhelmingly common case: one atomic load). An
+// armed point panics, sleeps, or returns an error according to its
+// Injection; ErrDropped signals the caller to skip the guarded operation.
+func Fire(point string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.Lock()
+	if counts != nil {
+		counts[point]++
+	}
+	a, ok := points[point]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	a.hits++
+	if a.inj.On > 0 {
+		if a.hits != a.inj.On {
+			mu.Unlock()
+			return nil
+		}
+		// One-shot: disarm so the retry path sees a healthy point.
+		delete(points, point)
+		if len(points) == 0 {
+			enabled.Store(false)
+		}
+	}
+	inj := a.inj
+	mu.Unlock()
+
+	msg := inj.Message
+	if msg == "" {
+		msg = "injected fault at " + point
+	}
+	switch inj.Mode {
+	case ModePanic:
+		panic("faults: " + msg)
+	case ModeDelay:
+		time.Sleep(inj.Delay)
+		return nil
+	case ModeDrop:
+		return fmt.Errorf("%w (%s)", ErrDropped, point)
+	default:
+		return fmt.Errorf("faults: %s", msg)
+	}
+}
+
+// Armed lists the currently armed points in sorted order.
+func Armed() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(points))
+	for p := range points {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ArmSpec parses and arms a comma-separated fault specification, the format
+// of confmaskd's hidden -fault flag:
+//
+//	point=mode[:param][@n][,point=mode...]
+//
+// where mode is panic, error, delay, or drop; param is the message (panic,
+// error) or a duration (delay); and @n restricts the fault to the n-th hit
+// of the point (one-shot). Examples:
+//
+//	worker.run=panic:boom@1
+//	service.journal.sync=drop@2,anonymize.stage.equivalence=delay:200ms
+func ArmSpec(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		point, rest, ok := strings.Cut(part, "=")
+		if !ok || point == "" {
+			return fmt.Errorf("faults: bad spec %q (want point=mode[:param][@n])", part)
+		}
+		var inj Injection
+		if at := strings.LastIndex(rest, "@"); at >= 0 {
+			n, err := strconv.Atoi(rest[at+1:])
+			if err != nil || n < 1 {
+				return fmt.Errorf("faults: bad hit count in %q", part)
+			}
+			inj.On = n
+			rest = rest[:at]
+		}
+		mode, param, _ := strings.Cut(rest, ":")
+		switch mode {
+		case "panic":
+			inj.Mode = ModePanic
+			inj.Message = param
+		case "error":
+			inj.Mode = ModeError
+			inj.Message = param
+		case "delay":
+			inj.Mode = ModeDelay
+			d, err := time.ParseDuration(param)
+			if err != nil {
+				return fmt.Errorf("faults: bad delay in %q: %v", part, err)
+			}
+			inj.Delay = d
+		case "drop":
+			inj.Mode = ModeDrop
+		default:
+			return fmt.Errorf("faults: unknown mode %q in %q", mode, part)
+		}
+		Arm(point, inj)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestUnarmedFireIsNil(t *testing.T) {
+	defer Reset()
+	if err := Fire("nothing.armed.here"); err != nil {
+		t.Fatalf("unarmed Fire = %v", err)
+	}
+}
+
+func TestErrorAndDropModes(t *testing.T) {
+	defer Reset()
+	Arm("p.err", Injection{Mode: ModeError, Message: "boom"})
+	err := Fire("p.err")
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error mode: %v", err)
+	}
+	Arm("p.drop", Injection{Mode: ModeDrop})
+	if err := Fire("p.drop"); !errors.Is(err, ErrDropped) {
+		t.Fatalf("drop mode: %v", err)
+	}
+	// An armed point keeps firing when On is unset.
+	if err := Fire("p.err"); err == nil {
+		t.Fatal("second hit did not fire")
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Reset()
+	Arm("p.panic", Injection{Mode: ModePanic})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "p.panic") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	_ = Fire("p.panic")
+	t.Fatal("unreachable")
+}
+
+func TestOneShotOnNthHit(t *testing.T) {
+	defer Reset()
+	Arm("p.nth", Injection{Mode: ModeError, On: 3})
+	for i := 1; i <= 2; i++ {
+		if err := Fire("p.nth"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := Fire("p.nth"); err == nil {
+		t.Fatal("third hit did not fire")
+	}
+	// One-shot: disarmed afterwards (and with no point left armed the
+	// fast path stops counting, so Hits stays at 3).
+	if err := Fire("p.nth"); err != nil {
+		t.Fatalf("fired after one-shot: %v", err)
+	}
+	if got := Hits("p.nth"); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	defer Reset()
+	Arm("p.delay", Injection{Mode: ModeDelay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("p.delay"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay too short: %v", d)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	defer Reset()
+	err := ArmSpec("a.b=panic:oops@2, c.d=delay:50ms ,e.f=drop,g.h=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a.b", "c.d", "e.f", "g.h"}
+	got := Armed()
+	if len(got) != len(want) {
+		t.Fatalf("Armed() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Armed() = %v, want %v", got, want)
+		}
+	}
+	if err := Fire("a.b"); err != nil {
+		t.Fatalf("a.b first hit: %v", err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(r.(string), "oops") {
+				t.Errorf("a.b second hit recover = %v", r)
+			}
+		}()
+		_ = Fire("a.b")
+	}()
+	if !errors.Is(Fire("e.f"), ErrDropped) {
+		t.Fatal("e.f did not drop")
+	}
+
+	for _, bad := range []string{"nomode", "p=wat", "p=delay:xx", "p=panic@0", "=panic"} {
+		if err := ArmSpec(bad); err == nil {
+			t.Fatalf("ArmSpec(%q) accepted", bad)
+		}
+	}
+}

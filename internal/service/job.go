@@ -27,6 +27,9 @@ import (
 //
 //	queued → running → done | failed | cancelled
 //	queued → cancelled            (cancelled before a worker picked it up)
+//	running → draining → requeued (graceful drain with a journal: the job
+//	                               resumes after the next daemon start)
+//	queued → requeued             (drain with a journal, job never ran)
 type State string
 
 const (
@@ -35,11 +38,18 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateDraining marks a running job whose daemon is shutting down; its
+	// pipeline is being stopped so the job can requeue durably.
+	StateDraining State = "draining"
+	// StateRequeued is terminal for this process: the job is journaled and
+	// will re-enter the queue when a daemon next opens the same data dir.
+	StateRequeued State = "requeued"
 )
 
-// Terminal reports whether no further transitions can happen.
+// Terminal reports whether no further transitions can happen in this
+// process. Requeued counts: the job only moves again after a restart.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateRequeued
 }
 
 // Request is the POST /v1/jobs payload: the configuration bundle to
@@ -102,16 +112,19 @@ type Event struct {
 // Status is the GET /v1/jobs/{id} document: a point-in-time snapshot of a
 // job.
 type Status struct {
-	ID        string    `json:"id"`
-	State     State     `json:"state"`
-	InputHash string    `json:"input_hash"`
-	Devices   int       `json:"devices"`
-	Stage     string    `json:"stage,omitempty"`
-	Iteration int       `json:"iteration,omitempty"`
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	InputHash string     `json:"input_hash"`
+	Devices   int        `json:"devices"`
+	Stage     string     `json:"stage,omitempty"`
+	Iteration int        `json:"iteration,omitempty"`
 	Created   time.Time  `json:"created"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
 	Error     string     `json:"error,omitempty"`
+	// Restarts counts how many daemon starts have executed this job before
+	// the current one (0 for a job born in this process).
+	Restarts int `json:"restarts,omitempty"`
 	// Report is present once the job is done.
 	Report *confmask.Report `json:"report,omitempty"`
 }
@@ -144,6 +157,18 @@ type job struct {
 	// a running job's pipeline context is cancelled via cancel.
 	cancelRequested bool
 	cancel          func()
+
+	// jw journals every event when the service runs with a data dir.
+	jw *jobJournal
+	// resume holds the stage checkpoint recovered from the journal; the
+	// worker hands it to the pipeline so a restarted job skips completed
+	// stages.
+	resume *confmask.Checkpoint
+	// restarts counts prior daemon starts that executed this job.
+	restarts int
+	// draining marks a job cancelled by a graceful drain (not by a user);
+	// the worker classifies the resulting context.Canceled as requeued.
+	draining bool
 }
 
 func newJob(id string, req *Request, now time.Time) *job {
@@ -160,16 +185,133 @@ func newJob(id string, req *Request, now time.Time) *job {
 	return j
 }
 
-// appendEventLocked numbers and stores an event and wakes streamers. The
-// caller must hold mu (or, for newJob, be the only reference holder).
+// appendEventLocked numbers and stores an event, journals it when a
+// journal is attached, and wakes streamers. The caller must hold mu (or,
+// for newJob, be the only reference holder). Journal append failures are
+// sticky inside the jobJournal; the worker surfaces them as a job failure
+// rather than blocking the event path here.
 func (j *job) appendEventLocked(e Event) {
 	e.Seq = len(j.events) + 1
 	if e.Time.IsZero() {
 		e.Time = time.Now()
 	}
 	j.events = append(j.events, e)
+	if j.jw != nil {
+		_ = j.jw.appendEvent(e)
+	}
 	close(j.changed)
 	j.changed = make(chan struct{})
+}
+
+// attachJournal starts journaling the job, first writing the events that
+// accumulated before attachment (the "queued" event at minimum).
+func (j *job) attachJournal(jw *jobJournal) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, e := range j.events {
+		if err := jw.appendEvent(e); err != nil {
+			return err
+		}
+	}
+	j.jw = jw
+	return nil
+}
+
+// journalErr reports the job journal's sticky failure, nil when the job is
+// not journaled or the journal is healthy.
+func (j *job) journalErr() error {
+	j.mu.Lock()
+	jw := j.jw
+	j.mu.Unlock()
+	if jw == nil {
+		return nil
+	}
+	return jw.Err()
+}
+
+// newJobFromReplay rebuilds a job from its journal. The replayed event
+// history is kept verbatim so streamers see the job's full life across
+// restarts; resumable jobs additionally get a "recovered" marker event
+// (journaled by the caller once the journal is reattached).
+func newJobFromReplay(rj *replayedJob) *job {
+	j := &job{
+		id:       rj.id,
+		hash:     rj.hash,
+		req:      rj.req,
+		state:    rj.state,
+		stage:    rj.stage,
+		created:  rj.created,
+		changed:  make(chan struct{}),
+		events:   rj.events,
+		result:   rj.result,
+		report:   rj.report,
+		errMsg:   rj.errMsg,
+		resume:   rj.checkpoint,
+		restarts: rj.starts,
+	}
+	if rj.req != nil {
+		j.devices = len(rj.req.Configs)
+	}
+	if j.hash == "" && rj.req != nil {
+		j.hash = rj.req.hash()
+	}
+	for _, e := range rj.events {
+		switch {
+		case e.Message == "started" && j.started.IsZero():
+			j.started = e.Time
+		case e.State.Terminal():
+			j.finished = e.Time
+		}
+	}
+	return j
+}
+
+// reattachJournal resumes journaling on an already-journaled job (replay
+// path): unlike attachJournal it does not rewrite history, because the
+// journal on disk already holds it.
+func (j *job) reattachJournal(jw *jobJournal) {
+	j.mu.Lock()
+	j.jw = jw
+	j.mu.Unlock()
+}
+
+// markRecovered returns a replayed job to the queued state and records the
+// recovery on its (already reattached) journal.
+func (j *job) markRecovered() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateQueued
+	j.stage, j.iteration = "", 0
+	j.cancelRequested = false
+	j.cancel = nil
+	j.draining = false
+	msg := fmt.Sprintf("recovered: requeued by daemon restart %d", j.restarts)
+	if j.resume != nil {
+		msg += ", resuming after " + j.resume.Stage + " checkpoint"
+	}
+	j.appendEventLocked(Event{State: StateQueued, Message: msg})
+}
+
+// noteDraining flags the job as being stopped by a graceful drain and
+// emits the draining event. No-op once terminal.
+func (j *job) noteDraining() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.draining {
+		return
+	}
+	j.draining = true
+	if j.state == StateRunning {
+		j.state = StateDraining
+	}
+	j.appendEventLocked(Event{State: j.state, Message: "draining: daemon shutting down"})
+}
+
+// isDraining reports whether the job is being drained.
+func (j *job) isDraining() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.draining
 }
 
 // setProgress records a pipeline stage transition as an event; prevStage
@@ -229,6 +371,8 @@ func (j *job) finish(state State, result map[string]string, report *confmask.Rep
 		e.Message = "done"
 	case StateCancelled:
 		e.Message = "cancelled"
+	case StateRequeued:
+		e.Message = "requeued: will resume at next daemon start"
 	default:
 		e.Error = errMsg
 	}
@@ -253,6 +397,18 @@ func (j *job) requestCancel() bool {
 	return true
 }
 
+// cancelPipeline cancels the job's running pipeline context without
+// setting cancelRequested — the drain path, where the stop is the
+// daemon's doing and the job must classify as requeued, not cancelled.
+func (j *job) cancelPipeline() {
+	j.mu.Lock()
+	c := j.cancel
+	j.mu.Unlock()
+	if c != nil {
+		c()
+	}
+}
+
 // status snapshots the job for the API.
 func (j *job) status() Status {
 	j.mu.Lock()
@@ -267,6 +423,7 @@ func (j *job) status() Status {
 		Created:   j.created,
 		Error:     j.errMsg,
 		Report:    j.report,
+		Restarts:  j.restarts,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -323,6 +480,23 @@ func (s *store) add(req *Request, now time.Time) (j *job, existing bool) {
 	return j, false
 }
 
+// put registers a replayed job under its original ID, keeping the dedup
+// index consistent: done, queued, and running-again jobs reclaim their
+// hash so resubmissions dedup across restarts; failed and cancelled jobs
+// do not. The seq counter advances past the replayed ID so new jobs never
+// collide with journaled ones.
+func (s *store) put(j *job, indexHash bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+	if indexHash && j.hash != "" {
+		s.byHash[j.hash] = j.id
+	}
+	if n := jobSeq(j.id); n > s.seq {
+		s.seq = n
+	}
+}
+
 // get looks a job up by ID.
 func (s *store) get(id string) (*job, bool) {
 	s.mu.Lock()
@@ -348,6 +522,20 @@ func (s *store) unindexHash(j *job) {
 	defer s.mu.Unlock()
 	if s.byHash[j.hash] == j.id {
 		delete(s.byHash, j.hash)
+	}
+}
+
+// closeJournals closes every attached job journal (end of Shutdown).
+func (s *store) closeJournals() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.jw != nil {
+			j.jw.close()
+			j.jw = nil
+		}
+		j.mu.Unlock()
 	}
 }
 

@@ -45,12 +45,12 @@ func (h *histogram) MarshalJSON() ([]byte, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	buckets := map[string]int64{
-		"le_10ms": h.counts[0],
+		"le_10ms":  h.counts[0],
 		"le_100ms": h.counts[1],
-		"le_1s":  h.counts[2],
-		"le_10s": h.counts[3],
-		"le_1m":  h.counts[4],
-		"inf":    h.counts[5],
+		"le_1s":    h.counts[2],
+		"le_10s":   h.counts[3],
+		"le_1m":    h.counts[4],
+		"inf":      h.counts[5],
 	}
 	return json.Marshal(map[string]any{
 		"count":    h.n,
@@ -71,6 +71,10 @@ type metrics struct {
 	JobsDone      expvar.Int
 	JobsFailed    expvar.Int
 	JobsCancelled expvar.Int
+	JobsPanicked  expvar.Int // pipeline panics converted to job failures
+	JobsRequeued  expvar.Int // drained jobs journaled for the next start
+	JobsRecovered expvar.Int // jobs re-enqueued by journal replay
+	JournalErrors expvar.Int // journal/checkpoint writes that exhausted retries
 	QueueDepth    expvar.Int // gauge
 
 	stageMu sync.Mutex
@@ -108,6 +112,10 @@ func (m *metrics) snapshot() map[string]any {
 		"jobs_done_total":      m.JobsDone.Value(),
 		"jobs_failed_total":    m.JobsFailed.Value(),
 		"jobs_cancelled_total": m.JobsCancelled.Value(),
+		"jobs_panicked_total":  m.JobsPanicked.Value(),
+		"jobs_requeued_total":  m.JobsRequeued.Value(),
+		"jobs_recovered_total": m.JobsRecovered.Value(),
+		"journal_errors_total": m.JournalErrors.Value(),
 		"jobs_running":         m.JobsRunning.Value(),
 		"queue_depth":          m.QueueDepth.Value(),
 		"stage_seconds":        stages,

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
 
 	"confmask"
+	"confmask/internal/faults"
 )
 
 // Config sizes a Server. The zero value is usable: every field has a
@@ -33,6 +35,25 @@ type Config struct {
 	// a blocking hook holds the pipeline inside a stage, which is how
 	// the tests freeze a job mid-Algorithm-1 deterministically.
 	StageHook func(jobID, stage string, iteration int)
+	// DataDir, when non-empty, makes the service durable: submissions and
+	// job events are journaled under DataDir/jobs, stage checkpoints are
+	// persisted, and a daemon restarted against the same directory replays
+	// its jobs — finished ones become queryable again, unfinished ones
+	// re-enqueue and resume from their last checkpoint. Empty keeps the
+	// original in-memory behavior.
+	DataDir string
+	// StageTimeout is the watchdog budget for a single pipeline stage to
+	// show progress; a stage silent for longer fails the job with a
+	// structured reason. Default 10 minutes; ≤ 0 keeps the default, so
+	// the watchdog is always on (JobTimeout still caps the whole job).
+	StageTimeout time.Duration
+	// MaxStageIterations caps Algorithm 1 / repair iterations within one
+	// stage before the watchdog declares the job divergent. Default 10000.
+	MaxStageIterations int
+	// MaxRestarts caps how many daemon starts may execute one job before
+	// replay gives up and fails it — the defense against poison jobs that
+	// crash the daemon deterministically. Default 3.
+	MaxRestarts int
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +66,15 @@ func (c Config) withDefaults() Config {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 15 * time.Minute
 	}
+	if c.StageTimeout <= 0 {
+		c.StageTimeout = 10 * time.Minute
+	}
+	if c.MaxStageIterations <= 0 {
+		c.MaxStageIterations = 10000
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 3
+	}
 	return c
 }
 
@@ -55,6 +85,7 @@ type Server struct {
 	cfg     Config
 	store   *store
 	metrics *metrics
+	journal *journal // nil without a DataDir
 	queue   chan *job
 	quit    chan struct{}
 	workers sync.WaitGroup
@@ -66,18 +97,55 @@ type Server struct {
 	running      map[string]*job // jobs currently on a worker
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. It panics when the
+// journal in cfg.DataDir cannot be opened; daemons that want to handle
+// that error use Open.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Server, replays the journal when cfg.DataDir is set, and
+// starts the worker pool. Jobs found queued, running, draining, or
+// requeued in the journal re-enter the queue (resuming from their last
+// stage checkpoint); jobs already run by cfg.MaxRestarts prior daemons
+// fail instead of crash-looping.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
 		store:   newStore(),
 		metrics: newMetrics(),
-		queue:   make(chan *job, cfg.QueueDepth),
 		quit:    make(chan struct{}),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 		running: make(map[string]*job),
+	}
+	var backlog []*job
+	if cfg.DataDir != "" {
+		jl, err := openJournal(cfg.DataDir, defaultRetryPolicy())
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		backlog, err = s.replayJournal()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The queue must absorb the whole replayed backlog without blocking
+	// startup, even when it exceeds the configured depth.
+	depth := cfg.QueueDepth
+	if len(backlog) > depth {
+		depth = len(backlog)
+	}
+	s.queue = make(chan *job, depth)
+	for _, j := range backlog {
+		s.queue <- j
+		s.metrics.QueueDepth.Add(1)
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -91,7 +159,52 @@ func New(cfg Config) *Server {
 		s.workers.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// replayJournal rebuilds the store from the journal and returns the jobs
+// that must run (again). Terminal jobs become queryable records; corrupt
+// journals surface as failed jobs rather than vanishing.
+func (s *Server) replayJournal() ([]*job, error) {
+	replayed, err := s.journal.replay()
+	if err != nil {
+		return nil, err
+	}
+	var backlog []*job
+	for _, rj := range replayed {
+		j := newJobFromReplay(rj)
+		switch {
+		case rj.corrupt && rj.req == nil:
+			// Not even the submission survived; keep a queryable tombstone.
+			j.state = StateFailed
+			s.store.put(j, false)
+			s.metrics.JournalErrors.Add(1)
+		case rj.state == StateDone, rj.state == StateFailed, rj.state == StateCancelled:
+			s.store.put(j, rj.state == StateDone)
+			if rj.corrupt {
+				s.metrics.JournalErrors.Add(1)
+			}
+		default: // queued, running, draining, requeued → run again
+			jw, err := s.journal.open(j.id)
+			if err != nil {
+				return nil, err
+			}
+			j.reattachJournal(jw)
+			if j.restarts >= s.cfg.MaxRestarts {
+				j.finish(StateFailed, nil, nil, fmt.Sprintf(
+					"job ran in %d daemon starts without completing (max %d); giving up",
+					j.restarts, s.cfg.MaxRestarts), time.Now(), "", 0)
+				s.store.put(j, false)
+				s.metrics.JobsFailed.Add(1)
+				continue
+			}
+			j.markRecovered()
+			s.store.put(j, true)
+			s.metrics.JobsRecovered.Add(1)
+			backlog = append(backlog, j)
+		}
+	}
+	return backlog, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -99,10 +212,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Shutdown drains the service: no new submissions are accepted, workers
-// finish their running jobs, still-queued jobs are marked cancelled. When
-// ctx fires first, running jobs are cancelled too and Shutdown waits for
-// the workers to notice (one Algorithm 1 iteration at most).
+// Shutdown drains the service: no new submissions are accepted and
+// workers finish their running jobs. When ctx fires first, running jobs
+// are stopped — with a journal (DataDir set) they are drained and
+// requeued (draining → requeued events, resumable from their last
+// checkpoint at the next start); without one they are cancelled.
+// Still-queued jobs likewise requeue durably or cancel. The journal is
+// flushed (every requeue event is an fsync'd state boundary) before
+// Shutdown returns.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.shuttingDown {
@@ -120,12 +237,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		// Deadline passed: abort the jobs still running and wait for the
+		// Deadline passed: stop the jobs still running and wait for the
 		// pipelines to observe the dead context.
 		err = ctx.Err()
 		s.mu.Lock()
 		for _, j := range s.running {
-			j.requestCancel()
+			if s.journal != nil {
+				j.noteDraining()
+				j.cancelPipeline()
+			} else {
+				j.requestCancel()
+			}
 		}
 		s.mu.Unlock()
 		<-done
@@ -136,11 +258,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		select {
 		case j := <-s.queue:
 			s.metrics.QueueDepth.Add(-1)
-			j.requestCancel()
-			j.finish(StateCancelled, nil, nil, "server shutting down", time.Now(), "", 0)
-			s.store.unindexHash(j)
-			s.metrics.JobsCancelled.Add(1)
+			if s.journal != nil {
+				j.noteDraining()
+				j.finish(StateRequeued, nil, nil, "", time.Now(), "", 0)
+				s.metrics.JobsRequeued.Add(1)
+			} else {
+				j.requestCancel()
+				j.finish(StateCancelled, nil, nil, "server shutting down", time.Now(), "", 0)
+				s.store.unindexHash(j)
+				s.metrics.JobsCancelled.Add(1)
+			}
 		default:
+			s.store.closeJournals()
 			return err
 		}
 	}
@@ -165,13 +294,32 @@ func (s *Server) worker() {
 	}
 }
 
-// run executes one job: per-job timeout, progress plumbed into the job's
-// event stream and the stage histograms, terminal state classified from
-// the pipeline error.
+// panicError wraps a panic recovered at the worker boundary; the captured
+// stack rides along so the job's terminal event carries it.
+type panicError struct {
+	val   string
+	stack string
+}
+
+func (e *panicError) Error() string { return "panic: " + e.val }
+
+// journalFailure marks a cancellation caused by the job's own journal
+// becoming unwritable: durability was promised and can no longer be kept.
+type journalFailure struct{ err error }
+
+func (e *journalFailure) Error() string { return "journal failure: " + e.err.Error() }
+func (e *journalFailure) Unwrap() error { return e.err }
+
+// run executes one job: per-job timeout, per-stage watchdog, progress
+// plumbed into the event stream and stage histograms, stage checkpoints
+// persisted to the journal, panics isolated to the job, and the terminal
+// state classified from the pipeline error plus the cancellation cause.
 func (s *Server) run(j *job) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
-	defer cancel()
-	if !j.start(cancel, time.Now()) {
+	tctx, cancelTimeout := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	defer cancelTimeout()
+	ctx, cancelCause := context.WithCancelCause(tctx)
+	defer cancelCause(nil)
+	if !j.start(func() { cancelCause(context.Canceled) }, time.Now()) {
 		// Cancelled while queued.
 		s.store.unindexHash(j)
 		s.metrics.JobsCancelled.Add(1)
@@ -187,6 +335,38 @@ func (s *Server) run(j *job) {
 		s.mu.Unlock()
 		s.metrics.JobsRunning.Add(-1)
 	}()
+	j.mu.Lock()
+	jw, resume := j.jw, j.resume
+	j.mu.Unlock()
+
+	// Stage watchdog: a pipeline stage that stops emitting progress
+	// callbacks for StageTimeout gets the job cancelled with a structured
+	// reason. Progress kicks reset the clock.
+	kick := make(chan string, 8)
+	wdStop := make(chan struct{})
+	go func() {
+		stage := "startup"
+		t := time.NewTimer(s.cfg.StageTimeout)
+		defer t.Stop()
+		for {
+			select {
+			case <-wdStop:
+				return
+			case stage = <-kick:
+				if !t.Stop() {
+					select {
+					case <-t.C:
+					default:
+					}
+				}
+				t.Reset(s.cfg.StageTimeout)
+			case <-t.C:
+				cancelCause(fmt.Errorf("watchdog: stage %q made no progress for %v", stage, s.cfg.StageTimeout))
+				return
+			}
+		}
+	}()
+	defer close(wdStop)
 
 	timer := &stageTimer{m: s.metrics}
 	opts := j.req.Options
@@ -197,21 +377,85 @@ func (s *Server) run(j *job) {
 		now := time.Now()
 		closed, d := timer.transition(stage, now)
 		j.setProgress(stage, iteration, closed, d)
+		// Stage-level fault points fire on the pipeline goroutine, inside
+		// the worker's recover boundary: a ModePanic here must fail only
+		// this job.
+		if err := faults.Fire("anonymize.stage." + stage); err != nil {
+			cancelCause(fmt.Errorf("fault injection: stage %s: %w", stage, err))
+		}
+		if err := j.journalErr(); err != nil {
+			cancelCause(&journalFailure{err: err})
+		}
+		if iteration > s.cfg.MaxStageIterations {
+			cancelCause(fmt.Errorf("watchdog: stage %q exceeded %d iterations", stage, s.cfg.MaxStageIterations))
+		}
+		select {
+		case kick <- stage:
+		default:
+		}
 		if s.cfg.StageHook != nil {
 			s.cfg.StageHook(j.id, stage, iteration)
 		}
 	}
-	result, report, err := confmask.AnonymizeContext(ctx, j.req.Configs, opts)
+	if jw != nil {
+		opts.Resume = resume
+		opts.Checkpoint = func(cp *confmask.Checkpoint) {
+			if err := jw.writeCheckpoint(cp); err != nil {
+				cancelCause(&journalFailure{err: err})
+			}
+		}
+	}
+	result, report, err := s.execute(ctx, j.req.Configs, opts)
 	now := time.Now()
 	closed, d := timer.finish(now)
+	if err == nil {
+		if jerr := j.journalErr(); jerr != nil {
+			err = &journalFailure{err: jerr}
+		} else if jw != nil {
+			if werr := jw.writeResult(result, report); werr != nil {
+				err = &journalFailure{err: werr}
+			}
+		}
+	}
+	cause := context.Cause(ctx)
+	var pe *panicError
+	var jf *journalFailure
 	switch {
 	case err == nil:
 		j.finish(StateDone, result, report, "", now, closed, d)
+		if jw != nil {
+			jw.removeCheckpoint()
+		}
 		s.metrics.JobsDone.Add(1)
-	case errors.Is(err, context.Canceled):
-		j.finish(StateCancelled, nil, nil, "cancelled", now, closed, d)
+	case errors.As(err, &pe):
+		s.metrics.JobsPanicked.Add(1)
+		j.finish(StateFailed, nil, nil, pe.Error()+"\n"+pe.stack, now, closed, d)
 		s.store.unindexHash(j)
-		s.metrics.JobsCancelled.Add(1)
+		s.metrics.JobsFailed.Add(1)
+	case errors.As(err, &jf):
+		s.metrics.JournalErrors.Add(1)
+		j.finish(StateFailed, nil, nil, jf.Error(), now, closed, d)
+		s.store.unindexHash(j)
+		s.metrics.JobsFailed.Add(1)
+	case errors.Is(err, context.Canceled):
+		switch {
+		case s.journal != nil && j.isDraining():
+			j.finish(StateRequeued, nil, nil, "", now, closed, d)
+			s.metrics.JobsRequeued.Add(1)
+		case cause != nil && !errors.Is(cause, context.Canceled):
+			// Watchdog, journal, or injected fault: the cause carries the
+			// structured reason.
+			if errors.As(cause, &jf) {
+				s.metrics.JournalErrors.Add(1)
+			}
+			j.finish(StateFailed, nil, nil, cause.Error(), now, closed, d)
+			s.store.unindexHash(j)
+			s.metrics.JobsFailed.Add(1)
+		default:
+			j.finish(StateCancelled, nil, nil, "cancelled", now, closed, d)
+			s.store.unindexHash(j)
+			s.metrics.JobsCancelled.Add(1)
+		}
 	case errors.Is(err, context.DeadlineExceeded):
 		j.finish(StateFailed, nil, nil, fmt.Sprintf("job exceeded timeout %v", s.cfg.JobTimeout), now, closed, d)
 		s.store.unindexHash(j)
@@ -221,6 +465,23 @@ func (s *Server) run(j *job) {
 		s.store.unindexHash(j)
 		s.metrics.JobsFailed.Add(1)
 	}
+}
+
+// execute is the worker's panic isolation boundary: one job's pipeline
+// runs inside it, and a panic anywhere in that pipeline — including fault
+// injections and progress callbacks — converts to a *panicError for that
+// job alone. The daemon and its other workers keep running.
+func (s *Server) execute(ctx context.Context, configs map[string]string, opts confmask.Options) (result map[string]string, report *confmask.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, report = nil, nil
+			err = &panicError{val: fmt.Sprint(r), stack: string(debug.Stack())}
+		}
+	}()
+	if err := faults.Fire("worker.run"); err != nil {
+		return nil, nil, err
+	}
+	return confmask.AnonymizeContext(ctx, configs, opts)
 }
 
 // --- HTTP handlers ---
@@ -269,13 +530,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j.status())
 		return
 	}
+	if s.journal != nil {
+		// The submission is only accepted once it is durable: journal dir,
+		// fsync'd submitted record, and the queued event on disk.
+		jw, err := s.journal.create(j.id, &req, j.hash, j.created)
+		if err == nil {
+			if aerr := j.attachJournal(jw); aerr != nil {
+				jw.close()
+				err = aerr
+			}
+		}
+		if err != nil {
+			s.store.remove(j)
+			s.journal.discard(j.id)
+			s.mu.Unlock()
+			s.metrics.JournalErrors.Add(1)
+			writeError(w, http.StatusInternalServerError, "cannot journal job: %v", err)
+			return
+		}
+	}
 	select {
 	case s.queue <- j:
 		s.metrics.QueueDepth.Add(1)
 	default:
 		s.store.remove(j)
+		if s.journal != nil {
+			s.journal.discard(j.id)
+		}
 		s.mu.Unlock()
 		s.metrics.JobsRejected.Add(1)
+		// Retry-After tells well-behaved clients (confmask submit among
+		// them) how long to back off before resubmitting.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued); retry later", s.cfg.QueueDepth)
 		return
 	}
@@ -408,6 +694,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"workers":        s.cfg.Workers,
 		"queue_capacity": s.cfg.QueueDepth,
 		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"durable":        s.journal != nil,
 	})
 }
 
