@@ -9,7 +9,9 @@
 // -full includes the slowest strawman-2 runs (Bics, USCarrier); without it
 // those rows print as "skipped". The "dataplane" experiment additionally
 // writes its measurements as JSON (-dataplane-out, default
-// BENCH_dataplane.json).
+// BENCH_dataplane.json), and the "query" experiment — the
+// attacker-vs-verifier benchmark — writes -query-out (default
+// BENCH_query.json).
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment list (default: all)")
 	parallelism := flag.Int("parallelism", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	dataplaneOut := flag.String("dataplane-out", "BENCH_dataplane.json", "file the dataplane experiment writes its measurements to (empty = don't write)")
+	queryOut := flag.String("query-out", "BENCH_query.json", "file the query experiment writes its measurements to (empty = don't write)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -91,6 +94,9 @@ func main() {
 	}
 	if want("dataplane") {
 		must(printDataPlane(r, *dataplaneOut))
+	}
+	if want("query") {
+		must(printQuery(r, *queryOut))
 	}
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
 }
@@ -311,6 +317,35 @@ func printDataPlane(r *experiments.Runner, out string) error {
 		fmt.Printf("%-11s %5d %6d %9.2f %9.2f %11.2f %11.2f %6d\n",
 			row.Net, row.Hosts, row.Pairs, row.SeqMS, row.ParMS, row.FullRoundMS, row.DirtyRoundMS, row.DirtyDests)
 	}
+	if out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func printQuery(r *experiments.Runner, out string) error {
+	rows, err := r.QueryBench(nil, 0)
+	if err != nil {
+		return err
+	}
+	header("Attacker vs verifier: query utility vs re-identification leakage")
+	fmt.Printf("%-11s %4s %4s %5s %7s %8s %10s %10s %11s %10s\n",
+		"Network", "k_R", "k_H", "p", "queries", "utility", "true-max", "unmatched", "shared-mean", "shared-max")
+	for _, row := range rows {
+		fmt.Printf("%-11s %4d %4d %5.2f %7d %7.1f%% %10.4f %10d %11.4f %10.4f\n",
+			row.Net, row.KR, row.KH, row.NoiseP, row.Queries,
+			100*row.Utility, row.ReidentTrueMax, row.ReidentUnmatched,
+			row.ReidentSharedMean, row.ReidentSharedMax)
+	}
+	fmt.Println("(expected: shared-max ≤ 1/k_R at every setting; utility high — SFE preserves real forwarding)")
 	if out == "" {
 		return nil
 	}

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"confmask"
@@ -55,11 +57,21 @@ type apiError struct {
 // cancel converges — so transient failures (connection refused, 5xx) and
 // queue-full 429s are retried with capped exponential backoff. A 429's
 // Retry-After header, when present, overrides the computed backoff.
-const (
+var (
 	retryAttempts = 4
 	retryBase     = 250 * time.Millisecond
 	retryCap      = 5 * time.Second
 )
+
+// daemonHint rewraps a connection-refused failure with an actionable
+// message — by far the most common client-mode error is that no daemon
+// is listening where -server points.
+func daemonHint(server string, err error) error {
+	if err == nil || !errors.Is(err, syscall.ECONNREFUSED) {
+		return err
+	}
+	return fmt.Errorf("%v\nis confmaskd running at %s? start one with:\n  confmaskd -addr :8619 -data-dir ~/.confmask\nor point -server at a running daemon", err, server)
+}
 
 // retryable classifies one attempt's failure by status code: 0 (no
 // response: connection refused, reset, timeout) and 429/5xx responses are
@@ -223,7 +235,7 @@ func cmdSubmit(args []string) error {
 	}
 	var st jobStatus
 	if err := callJSON("POST", *server+"/v1/jobs", req, &st); err != nil {
-		return err
+		return daemonHint(*server, err)
 	}
 	fmt.Printf("job %s %s (%d devices)\n", st.ID, st.State, len(configs))
 	if !*wait {
@@ -280,11 +292,11 @@ func cmdStatus(args []string) error {
 	}
 	if *events {
 		_, err := streamEvents(*server, *id, 0)
-		return err
+		return daemonHint(*server, err)
 	}
 	var st jobStatus
 	if err := callJSON("GET", *server+"/v1/jobs/"+*id, nil, &st); err != nil {
-		return err
+		return daemonHint(*server, err)
 	}
 	fmt.Printf("job %s: %s", st.ID, st.State)
 	if st.Stage != "" {
@@ -318,8 +330,180 @@ func cmdCancel(args []string) error {
 	}
 	var st jobStatus
 	if err := callJSON("DELETE", *server+"/v1/jobs/"+*id, nil, &st); err != nil {
-		return err
+		return daemonHint(*server, err)
 	}
 	fmt.Printf("job %s: cancel requested (state %s)\n", st.ID, st.State)
+	return nil
+}
+
+// Verification query API wire shapes (POST /v1/jobs/{id}/query).
+type verifyQuery struct {
+	ID       string `json:"id,omitempty"`
+	Kind     string `json:"kind"`
+	Src      string `json:"src"`
+	Dst      string `json:"dst"`
+	Via      string `json:"via,omitempty"`
+	FailNode string `json:"fail_node,omitempty"`
+	FailLink string `json:"fail_link,omitempty"`
+}
+
+// verifyLine is one NDJSON response line: either a per-query result or,
+// on the final line, the batch stats document.
+type verifyLine struct {
+	Index     int    `json:"index"`
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Holds     bool   `json:"holds"`
+	Status    string `json:"status"`
+	Paths     int    `json:"paths"`
+	Delivered int    `json:"delivered"`
+	Changed   bool   `json:"changed"`
+	Error     string `json:"error"`
+	Stats     *struct {
+		Queries        int64 `json:"queries"`
+		WhatIfRetraced int64 `json:"whatif_retraced"`
+		WhatIfReused   int64 `json:"whatif_reused"`
+	} `json:"stats"`
+}
+
+// postNDJSON performs a streaming POST with the client retry policy
+// applied to pre-stream failures (no connection, 429, 5xx); once a 2xx
+// header arrives, the caller owns the stream and nothing is retried.
+func postNDJSON(url string, body []byte) (*http.Response, error) {
+	backoff := retryBase
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		code := 0
+		if err == nil {
+			if resp.StatusCode < 300 {
+				return resp, nil
+			}
+			code = resp.StatusCode
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			var ae apiError
+			if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+				err = fmt.Errorf("%s: %s", resp.Status, ae.Error)
+			} else {
+				err = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+			}
+		}
+		if attempt >= retryAttempts || !retryable(code) {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "request failed (%v); retrying in %v (attempt %d/%d)\n", err, backoff, attempt, retryAttempts)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > retryCap {
+			backoff = retryCap
+		}
+	}
+}
+
+// cmdQuery sends a verification batch to a done job and prints the
+// streamed answers. The batch comes from -file (a JSON document, "-"
+// for stdin) or from the single-query flags.
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8619", "confmaskd base URL")
+	id := fs.String("id", "", "job ID")
+	file := fs.String("file", "", `batch file: {"queries":[...]} or a bare JSON array ("-" reads stdin)`)
+	kind := fs.String("kind", "", "single query: reachability|waypoint|pathdiff|isolation|whatif")
+	src := fs.String("src", "", "single query: source device")
+	dst := fs.String("dst", "", "single query: destination host")
+	via := fs.String("via", "", "single query: waypoint device (kind=waypoint)")
+	failNode := fs.String("fail-node", "", "single query: failed node (kind=whatif)")
+	failLink := fs.String("fail-link", "", `single query: failed link "a<->b" (kind=whatif)`)
+	raw := fs.Bool("json", false, "print the raw NDJSON response instead of a summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("query requires -id")
+	}
+	var batch struct {
+		Queries []verifyQuery `json:"queries"`
+	}
+	switch {
+	case *file != "" && *kind != "":
+		return fmt.Errorf("query takes -file or -kind flags, not both")
+	case *file != "":
+		var data []byte
+		var err error
+		if *file == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(*file)
+		}
+		if err != nil {
+			return err
+		}
+		// Accept both the request envelope and a bare query array.
+		if err := json.Unmarshal(data, &batch); err != nil || len(batch.Queries) == 0 {
+			if aerr := json.Unmarshal(data, &batch.Queries); aerr != nil {
+				return fmt.Errorf("batch file %s: %v", *file, err)
+			}
+		}
+	case *kind != "":
+		batch.Queries = []verifyQuery{{
+			Kind: *kind, Src: *src, Dst: *dst, Via: *via,
+			FailNode: *failNode, FailLink: *failLink,
+		}}
+	default:
+		return fmt.Errorf("query requires -file or -kind/-src/-dst")
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	resp, err := postNDJSON(*server+"/v1/jobs/"+*id+"/query", body)
+	if err != nil {
+		return daemonHint(*server, err)
+	}
+	defer resp.Body.Close()
+	if *raw {
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	failures := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var line verifyLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("bad result line: %w", err)
+		}
+		if line.Stats != nil {
+			fmt.Printf("%d queries answered (what-if retraced %d, reused %d)\n",
+				line.Stats.Queries, line.Stats.WhatIfRetraced, line.Stats.WhatIfReused)
+			continue
+		}
+		name := line.ID
+		if name == "" {
+			name = fmt.Sprintf("#%d", line.Index)
+		}
+		switch {
+		case line.Error != "":
+			failures++
+			fmt.Printf("  %-12s %-12s error: %s\n", name, line.Kind, line.Error)
+		default:
+			verdict := "holds"
+			if !line.Holds {
+				verdict = "FAILS"
+			}
+			extra := ""
+			if line.Kind == "whatif" && line.Changed {
+				extra = ", paths changed"
+			}
+			fmt.Printf("  %-12s %-12s %s (%s, %d/%d paths delivered%s)\n",
+				name, line.Kind, verdict, line.Status, line.Delivered, line.Paths, extra)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d queries were malformed", failures, len(batch.Queries))
+	}
 	return nil
 }

@@ -14,6 +14,7 @@
 //
 //	confmask submit -server <url> (-in <dir> | -net <name>) [-wait] [-out <dir>]
 //	confmask status -server <url> -id <job> [-events]
+//	confmask query  -server <url> -id <job> (-file <batch.json> | -kind <k> -src <dev> -dst <host>)
 //	confmask cancel -server <url> -id <job>
 package main
 
@@ -51,6 +52,8 @@ func main() {
 		err = cmdSubmit(os.Args[2:])
 	case "status":
 		err = cmdStatus(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
 	case "cancel":
 		err = cmdCancel(os.Args[2:])
 	case "-version", "--version", "version":
@@ -78,6 +81,7 @@ subcommands:
   routes    -in <dir> -router <name>
   submit    -server <url> (-in <dir> | -net <name>) [-kr N] [-kh N] [-seed N] [-wait] [-out <dir>] [-verify]
   status    -server <url> -id <job> [-events]
+  query     -server <url> -id <job> (-file <batch.json> | -kind K -src S -dst D [-via V] [-fail-node N] [-fail-link "a<->b"]) [-json]
   cancel    -server <url> -id <job>
   version
   example   -net <A..H|name> -out <dir>   (built-in evaluation networks:`, strings.Join(confmask.ExampleNetworks(), ", ")+")")

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"confmask"
+	"confmask/internal/query"
+	"confmask/internal/service"
+)
+
+// TestCLIQueryNoDaemon asserts the client turns a refused connection
+// into an actionable "is confmaskd running" message instead of a bare
+// dial error.
+func TestCLIQueryNoDaemon(t *testing.T) {
+	// A freshly closed listener's port refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	old := retryAttempts
+	retryAttempts = 1
+	defer func() { retryAttempts = old }()
+
+	for _, args := range [][]string{
+		{"query", "-server", "http://" + addr, "-id", "j1", "-kind", "reachability", "-src", "a", "-dst", "b"},
+		{"status", "-server", "http://" + addr, "-id", "j1"},
+		{"cancel", "-server", "http://" + addr, "-id", "j1"},
+	} {
+		var err error
+		switch args[0] {
+		case "query":
+			err = cmdQuery(args[1:])
+		case "status":
+			err = cmdStatus(args[1:])
+		case "cancel":
+			err = cmdCancel(args[1:])
+		}
+		if err == nil {
+			t.Fatalf("%s against dead server succeeded", args[0])
+		}
+		if !strings.Contains(err.Error(), "is confmaskd running") {
+			t.Fatalf("%s error lacks daemon hint: %v", args[0], err)
+		}
+	}
+}
+
+// TestCLIQueryRoundTrip runs a daemon in-process, completes a job, and
+// exercises the query subcommand in both single-query and batch-file
+// form.
+func TestCLIQueryRoundTrip(t *testing.T) {
+	s := service.New(service.Config{Workers: 1, QueueDepth: 4, JobTimeout: 2 * time.Minute})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	configs, err := confmask.GenerateExample("Enterprise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"configs": configs,
+		"options": confmask.Options{KR: 6, KH: 2, NoiseP: 0.1, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "cancelled" || time.Now().After(deadline) {
+			t.Fatalf("job ended %s", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	snap, err := query.FromConfigs(configs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := snap.Hosts()
+	if len(hosts) < 2 {
+		t.Fatalf("need 2 hosts, have %v", hosts)
+	}
+
+	if err := cmdQuery([]string{"-server", ts.URL, "-id", st.ID,
+		"-kind", "reachability", "-src", hosts[0], "-dst", hosts[1]}); err != nil {
+		t.Fatalf("single query: %v", err)
+	}
+
+	batch := map[string]any{"queries": []map[string]any{
+		{"id": "r1", "kind": "reachability", "src": hosts[0], "dst": hosts[1]},
+		{"id": "w1", "kind": "whatif", "src": hosts[0], "dst": hosts[1], "fail_node": hosts[0]},
+	}}
+	data, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(t.TempDir(), "batch.json")
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-server", ts.URL, "-id", st.ID, "-file", file, "-json"}); err != nil {
+		t.Fatalf("batch query: %v", err)
+	}
+
+	// A malformed query makes the command fail after printing answers.
+	bad := map[string]any{"queries": []map[string]any{
+		{"kind": "bogus", "src": hosts[0], "dst": hosts[1]},
+	}}
+	data, _ = json.Marshal(bad)
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-server", ts.URL, "-id", st.ID, "-file", file}); err == nil {
+		t.Fatal("malformed batch reported success")
+	}
+
+	// Unknown job: 404 is not retried and not masked by the hint.
+	if err := cmdQuery([]string{"-server", ts.URL, "-id", "j999999-nope",
+		"-kind", "reachability", "-src", hosts[0], "-dst", hosts[1]}); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown job error: %v", err)
+	}
+}

@@ -21,12 +21,13 @@
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/events NDJSON progress stream (replay + follow)
 //	GET    /v1/jobs/{id}/result anonymized configs + report (when done)
+//	POST   /v1/jobs/{id}/query  verification query batch in, NDJSON answers out
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /healthz             liveness
 //	GET    /metrics             job counters + per-stage histograms
 //
 // The existing confmask CLI is the matching client: `confmask submit`,
-// `confmask status`, `confmask cancel`.
+// `confmask status`, `confmask query`, `confmask cancel`.
 package main
 
 import (
@@ -57,6 +58,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "default per-job simulation parallelism (0 = GOMAXPROCS; jobs may override)")
 	dataDir := flag.String("data-dir", "", "journal directory for crash-safe job recovery (empty = in-memory only)")
 	maxRestarts := flag.Int("max-restarts", 3, "max daemon starts that may execute one journaled job before it fails")
+	maxQueryBatch := flag.Int("max-query-batch", 4096, "max predicates per verification query batch")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-predicate evaluation budget on the query endpoint")
 	faultSpec := flag.String("fault", "", "fault injection spec for chaos testing, e.g. 'service.journal.sync=drop,worker.run=panic@2' (testing only)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -72,13 +75,15 @@ func main() {
 	}
 
 	svc, err := service.Open(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		JobTimeout:   *jobTimeout,
-		StageTimeout: *stageTimeout,
-		Parallelism:  *parallelism,
-		DataDir:      *dataDir,
-		MaxRestarts:  *maxRestarts,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		JobTimeout:    *jobTimeout,
+		StageTimeout:  *stageTimeout,
+		Parallelism:   *parallelism,
+		DataDir:       *dataDir,
+		MaxRestarts:   *maxRestarts,
+		MaxQueryBatch: *maxQueryBatch,
+		QueryTimeout:  *queryTimeout,
 	})
 	if err != nil {
 		log.Fatalf("open service: %v", err)

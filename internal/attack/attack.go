@@ -295,6 +295,56 @@ func DegreeReidentification(shared *topology.Graph, trueDegree int) (candidates 
 	return candidates, 1 / float64(len(candidates))
 }
 
+// ReidentSummary aggregates the degree re-identification attack over a
+// whole network under two adversary models.
+type ReidentSummary struct {
+	// Routers is the number of true routers attacked.
+	Routers int `json:"routers"`
+	// True-degree model: the adversary knows each router's degree in the
+	// hidden original network. Unmatched counts routers whose true degree
+	// occurs nowhere in the shared graph — the attack yields nothing for
+	// them (confidence 0); fake links typically make this the common case.
+	Unmatched      int     `json:"unmatched"`
+	MeanConfidence float64 `json:"mean_confidence"`
+	MaxConfidence  float64 `json:"max_confidence"`
+	// Strongest-knowledge model: the adversary somehow knows the target's
+	// degree in the shared graph itself. This upper-bounds every
+	// degree-based attack, and k-degree anonymity still caps it at 1/k_R.
+	SharedMean float64 `json:"shared_mean_confidence"`
+	SharedMax  float64 `json:"shared_max_confidence"`
+}
+
+// ReidentifyAll runs DegreeReidentification against shared for every
+// router of trueTopo, under both the true-degree and the
+// strongest-knowledge adversary models.
+func ReidentifyAll(trueTopo, shared *topology.Graph) ReidentSummary {
+	var s ReidentSummary
+	var sum, sharedSum float64
+	for _, r := range trueTopo.NodesOf(topology.Router) {
+		s.Routers++
+		cands, conf := DegreeReidentification(shared, trueTopo.RouterDegree(r))
+		if len(cands) == 0 {
+			s.Unmatched++
+		} else {
+			sum += conf
+			if conf > s.MaxConfidence {
+				s.MaxConfidence = conf
+			}
+		}
+		if _, sconf := DegreeReidentification(shared, shared.RouterDegree(r)); sconf > 0 {
+			sharedSum += sconf
+			if sconf > s.SharedMax {
+				s.SharedMax = sconf
+			}
+		}
+	}
+	if s.Routers > 0 {
+		s.MeanConfidence = sum / float64(s.Routers)
+		s.SharedMean = sharedSum / float64(s.Routers)
+	}
+	return s
+}
+
 func dedupe(in []LinkSuspicion) []LinkSuspicion {
 	seen := make(map[topology.Edge]bool)
 	out := in[:0]

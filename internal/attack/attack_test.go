@@ -175,6 +175,61 @@ func TestDegreeReidentificationBoundedByK(t *testing.T) {
 	}
 }
 
+func TestReidentifyAll(t *testing.T) {
+	cfg, err := netgen.Enterprise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origTopo := snap.Net.Topology()
+
+	// Against itself: every router matches its own degree class, so
+	// nothing is unmatched and confidences are sane.
+	self := ReidentifyAll(origTopo, origTopo)
+	if self.Routers != len(origTopo.NodesOf(topology.Router)) {
+		t.Fatalf("attacked %d routers, topology has %d", self.Routers, len(origTopo.NodesOf(topology.Router)))
+	}
+	if self.Unmatched != 0 {
+		t.Fatalf("unmatched against self: %d", self.Unmatched)
+	}
+	if self.MaxConfidence <= 0 || self.MaxConfidence > 1 || self.MeanConfidence > self.MaxConfidence {
+		t.Fatalf("degenerate self summary: %+v", self)
+	}
+
+	// Against the anonymized network: any router the adversary still
+	// locates is hidden among at least k_R candidates.
+	opts := anonymize.DefaultOptions()
+	opts.Seed = 9
+	anon, _, err := anonymize.Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anonSnap, err := sim.Simulate(anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := ReidentifyAll(origTopo, anonSnap.Net.Topology())
+	if sum.Routers != self.Routers {
+		t.Fatalf("router count changed: %+v", sum)
+	}
+	cap := 1.0/float64(opts.KR) + 1e-9
+	if sum.MaxConfidence > cap {
+		t.Fatalf("max confidence %v exceeds 1/k_R=%v", sum.MaxConfidence, 1.0/float64(opts.KR))
+	}
+	// Even the strongest degree knowledge is capped by k-anonymity, and
+	// every original router still exists in the shared graph, so the
+	// strongest attack always matches something.
+	if sum.SharedMax > cap {
+		t.Fatalf("shared-degree max confidence %v exceeds 1/k_R", sum.SharedMax)
+	}
+	if sum.SharedMax <= 0 || sum.SharedMean <= 0 {
+		t.Fatalf("strongest-knowledge attack found nothing: %+v", sum)
+	}
+}
+
 func TestScoreLinks(t *testing.T) {
 	fake := []topology.Edge{topology.CanonEdge("a", "b"), topology.CanonEdge("c", "d")}
 	flagged := []LinkSuspicion{

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"confmask/internal/anonymize"
+	"confmask/internal/attack"
+	"confmask/internal/config"
+	"confmask/internal/netgen"
+	"confmask/internal/query"
+	"confmask/internal/sim"
+)
+
+// The attacker-vs-verifier benchmark quantifies ConfMask's bargain from
+// both ends at once. The verifier's side: a party holding only the
+// anonymized configurations answers verification queries (reachability,
+// waypoint, isolation, what-if) against them — utility is the fraction
+// of queries whose answers match the hidden original network. The
+// attacker's side: the same shared artifact is attacked with degree
+// re-identification — leakage is the adversary's confidence in locating
+// a true router. Sweeping (k_R, k_H, p) shows the trade: stronger
+// anonymity should push leakage down while keeping utility high, since
+// functional equivalence preserves real forwarding behavior.
+
+// QueryBenchSetting is one anonymization parameter point.
+type QueryBenchSetting struct {
+	KR     int
+	KH     int
+	NoiseP float64
+}
+
+// DefaultQueryBenchSettings spans the paper's default (6,2,0.1), a
+// stronger topology setting, and a stronger route setting with more
+// noise.
+func DefaultQueryBenchSettings() []QueryBenchSetting {
+	return []QueryBenchSetting{
+		{KR: 6, KH: 2, NoiseP: 0.1},
+		{KR: 10, KH: 2, NoiseP: 0.1},
+		{KR: 6, KH: 4, NoiseP: 0.3},
+	}
+}
+
+// QueryBenchRow is one (network, setting) measurement.
+type QueryBenchRow struct {
+	Net     string  `json:"net"`
+	KR      int     `json:"k_r"`
+	KH      int     `json:"k_h"`
+	NoiseP  float64 `json:"noise_p"`
+	Queries int     `json:"queries"`
+	// Utility is the fraction of queries answered identically (verdict,
+	// status classification, and what-if change flag) by the original and
+	// the anonymized network.
+	Utility       float64            `json:"utility"`
+	UtilityByKind map[string]float64 `json:"utility_by_kind"`
+	// Leakage: the degree re-identification attack over all true routers
+	// against the shared topology — the true-degree adversary, plus the
+	// strongest-knowledge (shared-degree) upper bound.
+	ReidentUnmatched  int     `json:"reident_unmatched"`
+	ReidentTrueMean   float64 `json:"reident_true_mean_confidence"`
+	ReidentTrueMax    float64 `json:"reident_true_max_confidence"`
+	ReidentSharedMean float64 `json:"reident_shared_mean_confidence"`
+	ReidentSharedMax  float64 `json:"reident_shared_max_confidence"`
+}
+
+// queryWorkload generates a deterministic mixed batch over the original
+// network's hosts and routers — names that exist in both the original
+// and the anonymized network, so every query is answerable on each side.
+func queryWorkload(cfg *config.Network, n int, seed int64) []query.Query {
+	hosts := cfg.Hosts()
+	routers := cfg.Routers()
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]query.Query, 0, n)
+	for i := 0; i < n; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		switch i % 4 {
+		case 0:
+			qs = append(qs, query.Query{Kind: query.Reachability, Src: src, Dst: dst})
+		case 1:
+			qs = append(qs, query.Query{Kind: query.Waypoint, Src: src, Dst: dst, Via: routers[rng.Intn(len(routers))]})
+		case 2:
+			qs = append(qs, query.Query{Kind: query.Isolation, Src: src, Dst: dst})
+		case 3:
+			qs = append(qs, query.Query{Kind: query.WhatIf, Src: src, Dst: dst, FailNode: routers[rng.Intn(len(routers))]})
+		}
+	}
+	return qs
+}
+
+// sameAnswer is the utility equality: identical verdict, identical path
+// classification, identical what-if change flag, identical error (both
+// usually empty).
+func sameAnswer(a, b query.Result) bool {
+	return a.Holds == b.Holds && a.Status == b.Status && a.Changed == b.Changed && a.Error == b.Error
+}
+
+// QueryBench measures utility vs leakage per setting on the Enterprise
+// network (BGP+OSPF) and the FatTree04 network (pure OSPF, enough
+// routers for degree classes to differ across k_R). Nil settings selects
+// DefaultQueryBenchSettings; nQueries <= 0 selects 400. The Runner's run
+// cache is bypassed deliberately: its key has no noise dimension, and
+// this experiment sweeps p.
+func (r *Runner) QueryBench(settings []QueryBenchSetting, nQueries int) ([]QueryBenchRow, error) {
+	if settings == nil {
+		settings = DefaultQueryBenchSettings()
+	}
+	if nQueries <= 0 {
+		nQueries = 400
+	}
+	ctx := context.Background()
+	var out []QueryBenchRow
+	for _, netID := range []string{"A", "G"} {
+		spec, err := netgen.ByID(netID)
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.base(spec)
+		if err != nil {
+			return nil, err
+		}
+		engOrig := query.New(b.Snap, query.Options{})
+		for i, s := range settings {
+			opts := anonymize.DefaultOptions()
+			opts.KR = s.KR
+			opts.KH = s.KH
+			opts.NoiseP = s.NoiseP
+			opts.Seed = r.Seed
+			opts.MaxIterations = 4096
+			opts.Parallelism = r.Parallelism
+			anon, _, err := anonymize.Run(b.Cfg, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: query bench %s k_R=%d k_H=%d p=%v: %w",
+					spec.ID, s.KR, s.KH, s.NoiseP, err)
+			}
+			snapAnon, err := sim.SimulateOpts(anon, sim.Options{Parallelism: r.Parallelism})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: query bench: simulate anonymized: %w", err)
+			}
+			engAnon := query.New(snapAnon, query.Options{Baseline: b.Snap})
+
+			qs := queryWorkload(b.Cfg, nQueries, r.Seed+int64(i))
+			resOrig := engOrig.Run(ctx, qs)
+			resAnon := engAnon.Run(ctx, qs)
+
+			same, total := map[string]int{}, map[string]int{}
+			identical := 0
+			for j := range qs {
+				k := string(qs[j].Kind)
+				total[k]++
+				if sameAnswer(resOrig[j], resAnon[j]) {
+					identical++
+					same[k]++
+				}
+			}
+			byKind := make(map[string]float64, len(total))
+			for k, n := range total {
+				byKind[k] = float64(same[k]) / float64(n)
+			}
+			leak := attack.ReidentifyAll(b.Topo, snapAnon.Net.Topology())
+			out = append(out, QueryBenchRow{
+				Net:               spec.Name,
+				KR:                s.KR,
+				KH:                s.KH,
+				NoiseP:            s.NoiseP,
+				Queries:           nQueries,
+				Utility:           float64(identical) / float64(nQueries),
+				UtilityByKind:     byKind,
+				ReidentUnmatched:  leak.Unmatched,
+				ReidentTrueMean:   leak.MeanConfidence,
+				ReidentTrueMax:    leak.MaxConfidence,
+				ReidentSharedMean: leak.SharedMean,
+				ReidentSharedMax:  leak.SharedMax,
+			})
+		}
+	}
+	return out, nil
+}

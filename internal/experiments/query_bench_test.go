@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestQueryBench(t *testing.T) {
+	r := testRunner(t)
+	settings := []QueryBenchSetting{{KR: 6, KH: 2, NoiseP: 0.1}}
+	rows, err := r.QueryBench(settings, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // one setting × (Enterprise, FatTree04)
+		t.Fatalf("rows = %d", len(rows))
+	}
+	row := rows[0]
+	if row.Queries != 60 || row.KR != 6 || row.KH != 2 {
+		t.Fatalf("row parameters wrong: %+v", row)
+	}
+	if row.Utility < 0 || row.Utility > 1 {
+		t.Fatalf("utility out of range: %+v", row)
+	}
+	// Functional equivalence preserves real forwarding, so a mostly
+	// host-to-host workload should agree far more often than chance.
+	if row.Utility < 0.5 {
+		t.Fatalf("utility %.2f implausibly low", row.Utility)
+	}
+	if row.ReidentTrueMax > 1.0/float64(row.KR)+1e-9 {
+		t.Fatalf("true-degree reident max %.4f exceeds 1/k_R: %+v", row.ReidentTrueMax, row)
+	}
+	if row.ReidentSharedMax > 1.0/float64(row.KR)+1e-9 || row.ReidentSharedMax <= 0 {
+		t.Fatalf("shared-degree reident max %.4f out of (0, 1/k_R]: %+v", row.ReidentSharedMax, row)
+	}
+	if len(row.UtilityByKind) == 0 {
+		t.Fatalf("missing per-kind breakdown: %+v", row)
+	}
+
+	// Deterministic: the same runner parameters reproduce the rows.
+	again, err := testRunner(t).QueryBench(settings, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatalf("query bench not deterministic:\n%+v\nvs\n%+v", rows, again)
+	}
+}

@@ -169,6 +169,11 @@ type job struct {
 	// draining marks a job cancelled by a graceful drain (not by a user);
 	// the worker classifies the resulting context.Canceled as requeued.
 	draining bool
+	// tombstone marks a job replayed from a corrupt journal whose output
+	// is unrecoverable; result and query endpoints answer 410 Gone so
+	// clients can tell "lost" from "never existed". Immutable after
+	// replay.
+	tombstone bool
 }
 
 func newJob(id string, req *Request, now time.Time) *job {
@@ -248,6 +253,9 @@ func newJobFromReplay(rj *replayedJob) *job {
 		errMsg:   rj.errMsg,
 		resume:   rj.checkpoint,
 		restarts: rj.starts,
+		// A corrupt journal with a still-readable result can serve its
+		// output; anything else corrupt cannot, ever again.
+		tombstone: rj.corrupt && rj.result == nil,
 	}
 	if rj.req != nil {
 		j.devices = len(rj.req.Configs)
@@ -306,6 +314,10 @@ func (j *job) noteDraining() {
 	}
 	j.appendEventLocked(Event{State: j.state, Message: "draining: daemon shutting down"})
 }
+
+// isTombstone reports whether the job's output was lost to journal
+// corruption (set only at replay, so no lock is needed after Open).
+func (j *job) isTombstone() bool { return j.tombstone }
 
 // isDraining reports whether the job is being drained.
 func (j *job) isDraining() bool {

@@ -1,0 +1,321 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"confmask/internal/query"
+)
+
+// postQuery POSTs a query batch and returns the response plus its full
+// body (NDJSON on success, a JSON error document otherwise).
+func postQuery(t *testing.T, ts *httptest.Server, id string, batch any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+id+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// testBatch builds a mixed batch over the request's own network: host
+// names come from simulating the submitted configs, so they exist in
+// both the original and (real hosts survive anonymization) the
+// anonymized snapshot. The last query is deliberately malformed.
+func testBatch(t *testing.T, req *Request) []query.Query {
+	t.Helper()
+	snap, err := query.FromConfigs(req.Configs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := snap.Hosts()
+	if len(hosts) < 3 {
+		t.Fatalf("test network has %d hosts, need 3", len(hosts))
+	}
+	return []query.Query{
+		{ID: "reach", Kind: query.Reachability, Src: hosts[0], Dst: hosts[1]},
+		{ID: "way", Kind: query.Waypoint, Src: hosts[0], Dst: hosts[1], Via: hosts[0]},
+		{ID: "iso", Kind: query.Isolation, Src: hosts[0], Dst: hosts[1]},
+		{ID: "diff", Kind: query.PathDiff, Src: hosts[0], Dst: hosts[1]},
+		{ID: "whatif", Kind: query.WhatIf, Src: hosts[0], Dst: hosts[1], FailNode: hosts[2]},
+		{ID: "bad", Kind: "bogus", Src: hosts[0], Dst: hosts[1]},
+	}
+}
+
+// splitNDJSON decodes a query response body into per-query results and
+// the trailing stats line.
+func splitNDJSON(t *testing.T, data []byte) ([]query.Result, query.Stats) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("NDJSON body has %d lines: %q", len(lines), data)
+	}
+	var results []query.Result
+	for _, line := range lines[:len(lines)-1] {
+		var r query.Result
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("result line %q: %v", line, err)
+		}
+		results = append(results, r)
+	}
+	var tail struct {
+		Stats *query.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tail); err != nil || tail.Stats == nil {
+		t.Fatalf("trailing stats line %q: %v", lines[len(lines)-1], err)
+	}
+	return results, *tail.Stats
+}
+
+// TestQueryEndpoint exercises POST /v1/jobs/{id}/query end to end:
+// request validation errors, the NDJSON result stream, the trailing
+// stats line, engine caching across batches, and the two metrics.
+func TestQueryEndpoint(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8, JobTimeout: 2 * time.Minute, MaxQueryBatch: 8})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := testRequest(t, 61)
+	_, st := postJob(t, ts, req)
+	waitState(t, ts, st.ID, StateDone)
+	qs := testBatch(t, req)
+	batch := map[string]any{"queries": qs}
+
+	// Rejections first: unknown job, empty batch, oversized batch,
+	// malformed JSON.
+	if resp, _ := postQuery(t, ts, "j999999-deadbeef", batch); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %s, want 404", resp.Status)
+	}
+	if resp, _ := postQuery(t, ts, st.ID, map[string]any{"queries": []query.Query{}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: %s, want 400", resp.Status)
+	}
+	big := make([]query.Query, 9)
+	for i := range big {
+		big[i] = qs[0]
+	}
+	if resp, _ := postQuery(t, ts, st.ID, map[string]any{"queries": big}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: %s, want 400", resp.Status)
+	}
+	r, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/query", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %s, want 400", r.Status)
+	}
+
+	// The real batch. Every well-formed query answers without error; the
+	// bogus-kind query reports a per-query error instead of failing the
+	// batch.
+	resp, body := postQuery(t, ts, st.ID, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %s: %s", resp.Status, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	results, stats := splitNDJSON(t, body)
+	if len(results) != len(qs) {
+		t.Fatalf("%d results for %d queries", len(results), len(qs))
+	}
+	for i, res := range results {
+		if res.Index != i || res.ID != qs[i].ID || res.Kind != qs[i].Kind {
+			t.Fatalf("result %d out of order: %+v vs query %+v", i, res, qs[i])
+		}
+	}
+	for _, res := range results[:len(results)-1] {
+		if res.Error != "" {
+			t.Fatalf("query %s failed: %s", res.ID, res.Error)
+		}
+	}
+	if results[len(results)-1].Error == "" {
+		t.Fatal("bogus-kind query did not report an error")
+	}
+	if !results[0].Holds {
+		t.Fatalf("reachability does not hold: %+v", results[0])
+	}
+	if !results[1].Holds {
+		t.Fatalf("waypoint via src does not hold: %+v", results[1])
+	}
+	if results[2].Holds {
+		t.Fatalf("isolation holds on a reachable pair: %+v", results[2])
+	}
+	if stats.Queries != int64(len(qs)) {
+		t.Fatalf("stats line counted %d queries, want %d", stats.Queries, len(qs))
+	}
+
+	// Second identical batch: the per-query result lines are
+	// byte-identical (warm caches change timing, never answers) and the
+	// engine cache reports a hit.
+	resp2, body2 := postQuery(t, ts, st.ID, batch)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second query: %s", resp2.Status)
+	}
+	cut := func(b []byte) []byte { return b[:bytes.LastIndexByte(bytes.TrimSuffix(b, []byte("\n")), '\n')+1] }
+	if !bytes.Equal(cut(body), cut(body2)) {
+		t.Fatalf("result lines differ across batches:\n%s\nvs\n%s", cut(body), cut(body2))
+	}
+
+	m := metricsSnapshot(t, ts)
+	if n := metricInt(t, m, "queries_total"); n != 2*int64(len(qs)) {
+		t.Fatalf("queries_total = %d, want %d", n, 2*len(qs))
+	}
+	if n := metricInt(t, m, "query_cache_hits_total"); n != 1 {
+		t.Fatalf("query_cache_hits_total = %d, want 1", n)
+	}
+}
+
+// TestQueryConflictWhenNotDone asserts a running job answers 409 with
+// its state, and starts answering once done.
+func TestQueryConflictWhenNotDone(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s := New(Config{
+		Workers: 1, QueueDepth: 4, JobTimeout: 2 * time.Minute,
+		StageHook: func(id, stage string, iter int) {
+			if stage == "equivalence" {
+				once.Do(func() { close(entered) })
+				<-release
+			}
+		},
+	})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := testRequest(t, 62)
+	_, st := postJob(t, ts, req)
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never reached equivalence")
+	}
+	batch := map[string]any{"queries": []query.Query{{Kind: query.Reachability, Src: "a", Dst: "b"}}}
+	resp, body := postQuery(t, ts, st.ID, batch)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("query on running job: %s, want 409", resp.Status)
+	}
+	var conflict struct {
+		State State `json:"state"`
+	}
+	if err := json.Unmarshal(body, &conflict); err != nil || conflict.State != StateRunning {
+		t.Fatalf("conflict body %s (err %v), want state running", body, err)
+	}
+
+	close(release)
+	waitState(t, ts, st.ID, StateDone)
+	resp2, _ := postQuery(t, ts, st.ID, map[string]any{"queries": testBatch(t, req)})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("query after done: %s", resp2.Status)
+	}
+}
+
+// TestQueryTombstoneGone plants an unreadable journal and asserts both
+// the result and query endpoints answer 410 Gone — the job is known but
+// its output is unrecoverable, which is different from 404.
+func TestQueryTombstoneGone(t *testing.T) {
+	dir := t.TempDir()
+	id := "j000001-deadbeef"
+	jobDir := filepath.Join(dir, "jobs", id)
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, "journal.ndjson"), []byte("not ndjson at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Config{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	st := getStatus(t, ts, id)
+	if st.State != StateFailed || st.Error == "" {
+		t.Fatalf("tombstone status %s (error %q), want failed with reason", st.State, st.Error)
+	}
+	r, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusGone {
+		t.Fatalf("result on tombstone: %s, want 410", r.Status)
+	}
+	batch := map[string]any{"queries": []query.Query{{Kind: query.Reachability, Src: "a", Dst: "b"}}}
+	resp, body := postQuery(t, ts, id, batch)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("query on tombstone: %s, want 410", resp.Status)
+	}
+	if !bytes.Contains(body, []byte("output lost")) {
+		t.Fatalf("410 body %s does not explain the loss", body)
+	}
+}
+
+// TestQueryByteIdenticalAcrossReplay runs a job to completion, queries
+// it, abandons the daemon kill -9 style (no shutdown, journal still
+// open), replays the data directory in a second daemon, and asserts the
+// identical batch yields a byte-identical NDJSON response — including
+// the stats line, because the rebuilt engine does the same work.
+func TestQueryByteIdenticalAcrossReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Workers: 1, QueueDepth: 4, JobTimeout: 2 * time.Minute, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := testRequest(t, 63)
+	_, st := postJob(t, ts, req)
+	waitState(t, ts, st.ID, StateDone)
+	batch := map[string]any{"queries": testBatch(t, req)}
+	resp1, body1 := postQuery(t, ts, st.ID, batch)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("query before replay: %s: %s", resp1.Status, body1)
+	}
+	// No shutdown: the first daemon keeps its journal open, exactly the
+	// state a kill -9 leaves behind.
+
+	s2, err := Open(Config{Workers: 2, QueueDepth: 4, JobTimeout: 2 * time.Minute, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+
+	if st2 := getStatus(t, ts2, st.ID); st2.State != StateDone {
+		t.Fatalf("replayed job state %s, want done", st2.State)
+	}
+	resp2, body2 := postQuery(t, ts2, st.ID, batch)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("query after replay: %s: %s", resp2.Status, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("query responses differ across replay:\n%s\nvs\n%s", body1, body2)
+	}
+}

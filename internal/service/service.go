@@ -54,6 +54,14 @@ type Config struct {
 	// replay gives up and fails it — the defense against poison jobs that
 	// crash the daemon deterministically. Default 3.
 	MaxRestarts int
+	// MaxQueryBatch caps the number of predicates one POST
+	// /v1/jobs/{id}/query may carry; larger batches are rejected with
+	// 400. Default 4096.
+	MaxQueryBatch int
+	// QueryTimeout is the per-predicate evaluation budget inside a query
+	// batch; a predicate past it answers with a per-query error instead
+	// of an answer. Default 10 seconds.
+	QueryTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +83,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxRestarts <= 0 {
 		c.MaxRestarts = 3
 	}
+	if c.MaxQueryBatch <= 0 {
+		c.MaxQueryBatch = 4096
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
 	return c
 }
 
@@ -95,6 +109,11 @@ type Server struct {
 	mu           sync.Mutex
 	shuttingDown bool
 	running      map[string]*job // jobs currently on a worker
+
+	// queryMu guards queryCache: one lazily built query engine per done
+	// job (see query.go in this package).
+	queryMu    sync.Mutex
+	queryCache map[string]*queryEntry
 }
 
 // New builds a Server and starts its worker pool. It panics when the
@@ -152,6 +171,7 @@ func Open(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -640,6 +660,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.store.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.isTombstone() {
+		writeError(w, http.StatusGone, "job %q output lost: %s", j.id, j.status().Error)
 		return
 	}
 	st := j.status()

@@ -259,6 +259,9 @@ type destEngine struct {
 	extra  map[string]int32
 	nodes  []destNode
 	bySrc  map[string]srcResult
+	// failRes caches finished what-if traces per (failure, src); see
+	// whatif.go.
+	failRes map[string]srcResult
 }
 
 // deviceIndex returns the Snapshot's shared device table (built once,
@@ -275,6 +278,24 @@ func (s *Snapshot) deviceIndex() ([]string, map[string]int32) {
 	})
 	return s.devNames, s.devIdx
 }
+
+// Devices returns every configured device name in the Snapshot's dense
+// device-table order. The slice is shared with the data-plane engines:
+// callers must treat it as read-only.
+func (s *Snapshot) Devices() []string {
+	names, _ := s.deviceIndex()
+	return names
+}
+
+// HasDevice reports whether name is a configured device of the network.
+func (s *Snapshot) HasDevice(name string) bool {
+	_, idx := s.deviceIndex()
+	_, ok := idx[name]
+	return ok
+}
+
+// Hosts returns the network's host device names in sorted order.
+func (s *Snapshot) Hosts() []string { return s.Net.Cfg.Hosts() }
 
 // engineFor returns the Snapshot's cached engine for dst, creating it on
 // first use; nil when dst is not a known host. The engine's graph is
@@ -319,6 +340,11 @@ func (s *Snapshot) traceWorkers() int {
 func (e *destEngine) pathsFor(src string) ([]Path, string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.pathsForLocked(src)
+}
+
+// pathsForLocked is pathsFor for callers already holding mu.
+func (e *destEngine) pathsForLocked(src string) ([]Path, string) {
 	if r, ok := e.bySrc[src]; ok {
 		return r.paths, r.fp
 	}

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Source identifies the protocol a route was installed from, ordered by
@@ -143,6 +144,11 @@ type Snapshot struct {
 	devOnce  sync.Once
 	devNames []string
 	devIdx   map[string]int32
+	// whatIfRetraced / whatIfReused count how what-if traces were served:
+	// by re-walking a failure-pruned graph vs. reusing the cached
+	// no-failure result. See WhatIfStats.
+	whatIfRetraced atomic.Int64
+	whatIfReused   atomic.Int64
 }
 
 // FIB returns the FIB of a device (nil when absent).
