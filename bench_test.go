@@ -1,4 +1,7 @@
-package confmask
+// The external test package breaks the import cycle bench_test ←
+// internal/experiments ← confmask (the incremental benchmark drives the
+// public ImportCheckpoint/Anonymize API).
+package confmask_test
 
 // This file provides one testing.B benchmark per table and figure of the
 // paper's evaluation (§7), plus micro-benchmarks for the substrates the

@@ -9,9 +9,11 @@
 // -full includes the slowest strawman-2 runs (Bics, USCarrier); without it
 // those rows print as "skipped". The "dataplane" experiment additionally
 // writes its measurements as JSON (-dataplane-out, default
-// BENCH_dataplane.json), and the "query" experiment — the
+// BENCH_dataplane.json), the "query" experiment — the
 // attacker-vs-verifier benchmark — writes -query-out (default
-// BENCH_query.json).
+// BENCH_query.json), and the "incremental" experiment — full run vs
+// checkpoint-seeded resubmission of a one-router edit — writes
+// -incremental-out (default BENCH_incremental.json).
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	dataplaneOut := flag.String("dataplane-out", "BENCH_dataplane.json", "file the dataplane experiment writes its measurements to (empty = don't write)")
 	queryOut := flag.String("query-out", "BENCH_query.json", "file the query experiment writes its measurements to (empty = don't write)")
+	incrementalOut := flag.String("incremental-out", "BENCH_incremental.json", "file the incremental experiment writes its measurements to (empty = don't write)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -97,6 +100,9 @@ func main() {
 	}
 	if want("query") {
 		must(printQuery(r, *queryOut))
+	}
+	if want("incremental") {
+		must(printIncremental(r, *incrementalOut))
 	}
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
 }
@@ -346,6 +352,34 @@ func printQuery(r *experiments.Runner, out string) error {
 			row.ReidentSharedMean, row.ReidentSharedMax)
 	}
 	fmt.Println("(expected: shared-max ≤ 1/k_R at every setting; utility high — SFE preserves real forwarding)")
+	if out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func printIncremental(r *experiments.Runner, out string) error {
+	rows, err := r.IncrementalBench()
+	if err != nil {
+		return err
+	}
+	header("Incremental resubmission: full run vs checkpoint-seeded one-router edit")
+	fmt.Printf("%-11s %5s %-12s %10s %10s %9s %-10s %s\n",
+		"Network", "|D|", "edited", "full-ms", "incr-ms", "speedup", "reused", "identical")
+	for _, row := range rows {
+		fmt.Printf("%-11s %5d %-12s %10.1f %10.1f %8.1fx %-10s %v\n",
+			row.Net, row.Devices, row.EditedDevice, row.FullMS, row.IncrementalMS,
+			row.Speedup, row.ReusedStage, row.ByteIdentical)
+	}
+	fmt.Println("(expected: ≥10x — the resumed run skips preprocess/topology/equivalence/anonymity and only re-renders)")
 	if out == "" {
 		return nil
 	}

@@ -157,29 +157,103 @@ func callJSONOnce(method, url string, body []byte, out any) (code int, retryAfte
 	return resp.StatusCode, 0, nil
 }
 
+// terminalState reports whether a job state string means the daemon will
+// emit no further events for the job in this process (requeued included:
+// the job only moves again after a daemon restart).
+func terminalState(s string) bool {
+	switch s {
+	case "done", "failed", "cancelled", "requeued":
+		return true
+	}
+	return false
+}
+
 // streamEvents follows a job's NDJSON event stream, printing one line per
-// event, and returns the terminal state (the daemon closes the stream at
-// a terminal event).
+// event, and returns the terminal state. The stream rides the client retry
+// policy: a transient disconnect mid-follow — the daemon restarting, a
+// proxy dropping the connection, a graceful shutdown closing follower
+// streams — reconnects with the last-seen ?after=<seq> cursor instead of
+// aborting, so no event is lost or printed twice. Progress resets the
+// attempt budget; only consecutive failures without a new event give up.
 func streamEvents(server, id string, after int) (string, error) {
+	state := ""
+	backoff := retryBase
+	attempts := 0
+	for {
+		st, last, code, retryAfter, err := streamEventsOnce(server, id, after)
+		if st != "" {
+			state = st
+		}
+		if last > after {
+			after = last
+			attempts, backoff = 0, retryBase
+		}
+		if err == nil && terminalState(state) {
+			return state, nil
+		}
+		if err == nil {
+			// Clean end of stream before a terminal event: the daemon shut
+			// down gracefully mid-follow. Same recovery as a dropped
+			// connection.
+			err = fmt.Errorf("event stream ended before job %s finished", id)
+			code = 0
+		}
+		attempts++
+		if attempts >= retryAttempts || !retryable(code) {
+			return state, err
+		}
+		delay := backoff
+		if retryAfter > 0 {
+			delay = retryAfter
+		}
+		fmt.Fprintf(os.Stderr, "event stream interrupted (%v); reconnecting from seq %d in %v (attempt %d/%d)\n",
+			err, after, delay, attempts, retryAttempts)
+		time.Sleep(delay)
+		backoff *= 2
+		if backoff > retryCap {
+			backoff = retryCap
+		}
+	}
+}
+
+// streamEventsOnce makes one connection to the event stream and consumes it
+// until it ends. It returns the last state and event seq seen, the HTTP
+// status code of a non-200 response (0 for connection-level failures), and
+// the parsed Retry-After duration when the daemon sent one.
+func streamEventsOnce(server, id string, after int) (state string, last, code int, retryAfter time.Duration, err error) {
 	url := fmt.Sprintf("%s/v1/jobs/%s/events?after=%d", server, id, after)
 	resp, err := http.Get(url)
 	if err != nil {
-		return "", err
+		return "", after, 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if n, perr := strconv.Atoi(s); perr == nil && n >= 0 {
+				retryAfter = time.Duration(n) * time.Second
+			}
+		}
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		return "", fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return "", after, resp.StatusCode, retryAfter, fmt.Errorf("%s: %s", resp.Status, ae.Error)
+		}
+		return "", after, resp.StatusCode, retryAfter, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
 	}
-	state := ""
+	last = after
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		var e jobEvent
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return state, fmt.Errorf("bad event line: %w", err)
+			// A torn line from a dropped connection; everything before it
+			// printed fine, so reconnect from the last whole event.
+			return state, last, 0, 0, fmt.Errorf("bad event line: %w", err)
 		}
 		state = e.State
+		if e.Seq > last {
+			last = e.Seq
+		}
 		switch {
 		case e.Stage != "" && e.Iteration > 0:
 			fmt.Printf("  [%s] %s iteration %d\n", e.State, e.Stage, e.Iteration)
@@ -191,7 +265,7 @@ func streamEvents(server, id string, after int) (string, error) {
 			fmt.Printf("  [%s] %s\n", e.State, e.Message)
 		}
 	}
-	return state, sc.Err()
+	return state, last, 0, 0, sc.Err()
 }
 
 // cmdSubmit submits a configuration bundle to a confmaskd daemon and,
@@ -208,6 +282,7 @@ func cmdSubmit(args []string) error {
 	strategy := fs.String("strategy", "confmask", "route equivalence strategy")
 	fakeRouters := fs.Int("fake-routers", 0, "add N fake routers (scale obfuscation)")
 	parallelism := fs.Int("parallelism", 0, "simulation worker pool size on the daemon (0 = daemon default)")
+	base := fs.String("base", "", `incremental resubmission: base job ID, or "auto" to discover one by config overlap`)
 	wait := fs.Bool("wait", false, "stream progress and wait for the job to finish")
 	out := fs.String("out", "", "with -wait: write the anonymized configs to this directory")
 	verify := fs.Bool("verify", false, "with -wait: locally verify the result against the input")
@@ -232,6 +307,9 @@ func cmdSubmit(args []string) error {
 	req := map[string]any{
 		"configs": configs,
 		"options": confmask.Options{KR: *kr, KH: *kh, NoiseP: *p, Seed: *seed, Strategy: *strategy, FakeRouters: *fakeRouters, Parallelism: *parallelism},
+	}
+	if *base != "" {
+		req["base_job"] = *base
 	}
 	var st jobStatus
 	if err := callJSON("POST", *server+"/v1/jobs", req, &st); err != nil {
@@ -374,11 +452,19 @@ func postNDJSON(url string, body []byte) (*http.Response, error) {
 	for attempt := 1; ; attempt++ {
 		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 		code := 0
+		var retryAfter time.Duration
 		if err == nil {
 			if resp.StatusCode < 300 {
 				return resp, nil
 			}
 			code = resp.StatusCode
+			// Honor the daemon's Retry-After (sent with queue-full 429s)
+			// over the fixed exponential schedule, like callJSON does.
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if n, perr := strconv.Atoi(s); perr == nil && n >= 0 {
+					retryAfter = time.Duration(n) * time.Second
+				}
+			}
 			data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 			resp.Body.Close()
 			var ae apiError
@@ -391,8 +477,12 @@ func postNDJSON(url string, body []byte) (*http.Response, error) {
 		if attempt >= retryAttempts || !retryable(code) {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "request failed (%v); retrying in %v (attempt %d/%d)\n", err, backoff, attempt, retryAttempts)
-		time.Sleep(backoff)
+		delay := backoff
+		if retryAfter > 0 {
+			delay = retryAfter
+		}
+		fmt.Fprintf(os.Stderr, "request failed (%v); retrying in %v (attempt %d/%d)\n", err, delay, attempt, retryAttempts)
+		time.Sleep(delay)
 		backoff *= 2
 		if backoff > retryCap {
 			backoff = retryCap

@@ -256,13 +256,14 @@ func TestSIGKILLRecovery(t *testing.T) {
 	}
 
 	// The journal directory must reflect the finished state: results on
-	// disk, checkpoints cleaned up.
+	// disk, and the final stage checkpoint retained — it is what
+	// incremental resubmissions seed from, across restarts.
 	for _, id := range []string{stA.ID, stB.ID} {
 		if _, err := os.Stat(filepath.Join(dataDir, "jobs", id, "result.json")); err != nil {
 			t.Errorf("job %s result not persisted: %v", id, err)
 		}
-		if _, err := os.Stat(filepath.Join(dataDir, "jobs", id, "checkpoint.json")); !os.IsNotExist(err) {
-			t.Errorf("job %s checkpoint not cleaned up (err %v)", id, err)
+		if _, err := os.Stat(filepath.Join(dataDir, "jobs", id, "checkpoint.json")); err != nil {
+			t.Errorf("job %s final checkpoint not retained: %v", id, err)
 		}
 	}
 

@@ -192,28 +192,42 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 	rep := &Report{}
 	origStats := cfg.LineStats()
 
-	// Preprocessing: simulate the original network, recording its
-	// topology, data plane, and per-router next hops as the baseline.
-	// This always reruns, resume or not — it is a pure function of the
-	// original input and checkpointing its large derived state would cost
-	// more than recomputing it.
-	opts.progress("preprocess", 0)
-	t0 := time.Now()
-	base, err := newBaseline(cfg, opts.simOpts())
-	if err != nil {
-		return nil, nil, fmt.Errorf("anonymize: preprocessing: %w", err)
-	}
-	rep.Timing.Preprocess = time.Since(t0)
-
-	out := cfg.Clone()
-	pool := netaddr.NewPool(cfg.UsedPrefixes(), nil)
-	resumed := 0 // rank of the checkpointed stage being resumed from
+	var (
+		out     *config.Network
+		pool    *netaddr.Pool
+		err     error
+		resumed = 0 // rank of the checkpointed stage being resumed from
+	)
 	if opts.Resume != nil {
 		out, pool, rep, err = resumeState(opts.Resume, src)
 		if err != nil {
 			return nil, nil, err
 		}
 		resumed = stageRank(opts.Resume.Stage)
+	} else {
+		out = cfg.Clone()
+		pool = netaddr.NewPool(cfg.UsedPrefixes(), nil)
+	}
+
+	// Preprocessing: simulate the original network, recording its
+	// topology, data plane, and per-router next hops as the baseline.
+	// It reruns on resume rather than being checkpointed — it is a pure
+	// function of the original input and checkpointing its large derived
+	// state would cost more than recomputing it — but it is skipped
+	// entirely when the checkpoint already covers every stage that reads
+	// the baseline (a cross-job incremental resume of a finished run).
+	var base *baseline
+	var t0 time.Time
+	needBase := resumed < stageRank("equivalence") ||
+		(resumed < stageRank("anonymity") && !opts.SkipRouteAnonymity && opts.KH > 1)
+	if needBase {
+		opts.progress("preprocess", 0)
+		t0 = time.Now()
+		base, err = newBaseline(cfg, opts.simOpts())
+		if err != nil {
+			return nil, nil, fmt.Errorf("anonymize: preprocessing: %w", err)
+		}
+		rep.Timing.Preprocess = time.Since(t0)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"confmask"
+	"confmask/internal/netgen"
+)
+
+// IncrementalBenchRow is one network's incremental-resubmission
+// measurement: the cost of a from-scratch anonymization vs re-anonymizing
+// a one-router cosmetic edit by importing the first run's final stage
+// checkpoint (confmask.ImportCheckpoint + resume). ByteIdentical reports
+// the correctness half of the claim — the incremental output matched a
+// from-scratch run of the edited bundle byte for byte.
+type IncrementalBenchRow struct {
+	Net          string  `json:"net"`
+	Devices      int     `json:"devices"`
+	EditedDevice string  `json:"edited_device"`
+	FullMS       float64 `json:"full_ms"`
+	// IncrementalMS covers the whole incremental path: manifest-style
+	// import (parse, semantic gate, checkpoint patch) plus the resumed
+	// pipeline run.
+	IncrementalMS float64 `json:"incremental_ms"`
+	Speedup       float64 `json:"speedup"`
+	ReusedStage   string  `json:"reused_stage"`
+	ByteIdentical bool    `json:"byte_identical"`
+}
+
+// incrementalBenchNets picks the reference network (FatTree08) from the
+// Runner's catalog; a restricted catalog without it (tests) measures
+// whatever it holds.
+func (r *Runner) incrementalBenchNets() []netgen.Spec {
+	var out []netgen.Spec
+	for _, s := range r.Nets {
+		if s.Name == "FatTree08" {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = r.Nets
+	}
+	return out
+}
+
+// IncrementalBench measures cross-job incremental anonymization on the
+// reference network: one full run retaining its final checkpoint, then a
+// cosmetic one-router edit resubmitted through ImportCheckpoint. A
+// non-byte-identical incremental result is an error, not a slow row — the
+// optimization is only allowed to exist because it provably changes
+// nothing.
+func (r *Runner) IncrementalBench() ([]IncrementalBenchRow, error) {
+	var rows []IncrementalBenchRow
+	for _, spec := range r.incrementalBenchNets() {
+		cfg, err := spec.Build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: build %s: %w", spec.ID, err)
+		}
+		configs := cfg.Render()
+		o := confmask.Options{KR: 6, KH: 2, NoiseP: 0.1, Seed: r.Seed, Parallelism: r.Parallelism}
+
+		var last *confmask.Checkpoint
+		withCP := o
+		withCP.Checkpoint = func(cp *confmask.Checkpoint) { last = cp }
+		t0 := time.Now()
+		if _, _, err := confmask.Anonymize(configs, withCP); err != nil {
+			return nil, fmt.Errorf("experiments: %s full run: %w", spec.ID, err)
+		}
+		full := time.Since(t0)
+		if last == nil {
+			return nil, fmt.Errorf("experiments: %s full run emitted no checkpoint", spec.ID)
+		}
+
+		// The edit: one cosmetic (passthrough) line on one router —
+		// deterministically the lexically smallest device name.
+		names := make([]string, 0, len(configs))
+		for name := range configs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		dev := names[0]
+		edited := make(map[string]string, len(configs))
+		for k, v := range configs {
+			edited[k] = v
+		}
+		edited[dev] += "snmp-server community confmask-incremental RO\n"
+
+		t0 = time.Now()
+		cp, _, err := confmask.ImportCheckpoint(last, configs, edited, o)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s import: %w", spec.ID, err)
+		}
+		fast := o
+		fast.Resume = cp
+		incOut, _, err := confmask.Anonymize(edited, fast)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s incremental run: %w", spec.ID, err)
+		}
+		inc := time.Since(t0)
+
+		refOut, _, err := confmask.Anonymize(edited, o)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s reference run: %w", spec.ID, err)
+		}
+		identical := len(incOut) == len(refOut)
+		for name, want := range refOut {
+			if incOut[name] != want {
+				identical = false
+				break
+			}
+		}
+		if !identical {
+			return nil, fmt.Errorf("experiments: %s incremental output differs from from-scratch run", spec.ID)
+		}
+
+		rows = append(rows, IncrementalBenchRow{
+			Net:           spec.Name,
+			Devices:       len(configs),
+			EditedDevice:  dev,
+			FullMS:        float64(full.Microseconds()) / 1000,
+			IncrementalMS: float64(inc.Microseconds()) / 1000,
+			Speedup:       float64(full) / float64(inc),
+			ReusedStage:   cp.Stage,
+			ByteIdentical: identical,
+		})
+	}
+	return rows, nil
+}

@@ -58,6 +58,40 @@ func (s State) Terminal() bool {
 type Request struct {
 	Configs map[string]string `json:"configs"`
 	Options confmask.Options  `json:"options"`
+	// BaseJob requests incremental anonymization: the ID of a completed
+	// job this submission is an edit of, or "auto" to discover the best
+	// base by per-device manifest overlap. When the edit turns out to be
+	// decision-identical (see confmask.ImportCheckpoint), the worker seeds
+	// the pipeline from the base job's checkpoint and skips every stage it
+	// covers; otherwise the job falls back to a full run with an event
+	// naming the reason. Deliberately excluded from the dedup hash: the
+	// base only changes how the result is computed, never what it is.
+	BaseJob string `json:"base_job,omitempty"`
+}
+
+// manifestOf content-addresses each config file of a bundle: file label →
+// sha256 hex of its text. Submissions store it in the journal next to the
+// bundle hash; manifest diffs give the edited-device set for incremental
+// base resolution.
+func manifestOf(configs map[string]string) map[string]string {
+	m := make(map[string]string, len(configs))
+	for name, text := range configs {
+		sum := sha256.Sum256([]byte(text))
+		m[name] = hex.EncodeToString(sum[:])
+	}
+	return m
+}
+
+// manifestOverlap counts the (file, content-hash) pairs two manifests
+// share.
+func manifestOverlap(a, b map[string]string) int {
+	n := 0
+	for name, sum := range a {
+		if b[name] == sum {
+			n++
+		}
+	}
+	return n
 }
 
 // hash returns the content hash used for job deduplication: a sha256 over
@@ -107,6 +141,11 @@ type Event struct {
 	// Error carries the failure reason on the terminal event of a failed
 	// job.
 	Error string `json:"error,omitempty"`
+	// BaseJob and ReusedStages appear on the event announcing that the job
+	// was seeded from another job's checkpoint: the base job's ID and the
+	// pipeline stages the seed lets this job skip.
+	BaseJob      string   `json:"base_job,omitempty"`
+	ReusedStages []string `json:"reused_stages,omitempty"`
 }
 
 // Status is the GET /v1/jobs/{id} document: a point-in-time snapshot of a
@@ -125,6 +164,11 @@ type Status struct {
 	// Restarts counts how many daemon starts have executed this job before
 	// the current one (0 for a job born in this process).
 	Restarts int `json:"restarts,omitempty"`
+	// BaseJob and ReusedStages identify the completed job whose checkpoint
+	// seeded this one and the stages that seed skipped (incremental
+	// resubmission; absent for full runs).
+	BaseJob      string   `json:"base_job,omitempty"`
+	ReusedStages []string `json:"reused_stages,omitempty"`
 	// Report is present once the job is done.
 	Report *confmask.Report `json:"report,omitempty"`
 }
@@ -160,10 +204,22 @@ type job struct {
 
 	// jw journals every event when the service runs with a data dir.
 	jw *jobJournal
-	// resume holds the stage checkpoint recovered from the journal; the
-	// worker hands it to the pipeline so a restarted job skips completed
-	// stages.
+	// resume holds the stage checkpoint recovered from the journal or
+	// imported from a base job; the worker hands it to the pipeline so the
+	// job skips the stages it covers.
 	resume *confmask.Checkpoint
+	// manifest content-addresses the request's config files (file label →
+	// sha256 hex); incremental base resolution diffs manifests to find the
+	// edited devices.
+	manifest map[string]string
+	// lastCP is the newest checkpoint the pipeline emitted (or replay
+	// recovered); completed jobs keep it so later submissions can seed
+	// from it.
+	lastCP *confmask.Checkpoint
+	// baseJob and reusedStages record a successful incremental seed for
+	// status reporting.
+	baseJob      string
+	reusedStages []string
 	// restarts counts prior daemon starts that executed this job.
 	restarts int
 	// draining marks a job cancelled by a graceful drain (not by a user);
@@ -178,13 +234,14 @@ type job struct {
 
 func newJob(id string, req *Request, now time.Time) *job {
 	j := &job{
-		id:      id,
-		hash:    req.hash(),
-		req:     req,
-		devices: len(req.Configs),
-		state:   StateQueued,
-		created: now,
-		changed: make(chan struct{}),
+		id:       id,
+		hash:     req.hash(),
+		req:      req,
+		devices:  len(req.Configs),
+		state:    StateQueued,
+		created:  now,
+		changed:  make(chan struct{}),
+		manifest: manifestOf(req.Configs),
 	}
 	j.appendEventLocked(Event{State: StateQueued, Message: "queued", Time: now})
 	return j
@@ -252,6 +309,8 @@ func newJobFromReplay(rj *replayedJob) *job {
 		report:   rj.report,
 		errMsg:   rj.errMsg,
 		resume:   rj.checkpoint,
+		lastCP:   rj.checkpoint,
+		manifest: rj.manifest,
 		restarts: rj.starts,
 		// A corrupt journal with a still-readable result can serve its
 		// output; anything else corrupt cannot, ever again.
@@ -263,12 +322,18 @@ func newJobFromReplay(rj *replayedJob) *job {
 	if j.hash == "" && rj.req != nil {
 		j.hash = rj.req.hash()
 	}
+	if j.manifest == nil && rj.req != nil {
+		j.manifest = manifestOf(rj.req.Configs)
+	}
 	for _, e := range rj.events {
 		switch {
 		case e.Message == "started" && j.started.IsZero():
 			j.started = e.Time
 		case e.State.Terminal():
 			j.finished = e.Time
+		}
+		if e.BaseJob != "" {
+			j.baseJob, j.reusedStages = e.BaseJob, e.ReusedStages
 		}
 	}
 	return j
@@ -318,6 +383,49 @@ func (j *job) noteDraining() {
 // isTombstone reports whether the job's output was lost to journal
 // corruption (set only at replay, so no lock is needed after Open).
 func (j *job) isTombstone() bool { return j.tombstone }
+
+// setLastCheckpoint retains the newest pipeline checkpoint in memory so the
+// job can later serve as an incremental base even without a journal.
+func (j *job) setLastCheckpoint(cp *confmask.Checkpoint) {
+	j.mu.Lock()
+	j.lastCP = cp
+	j.mu.Unlock()
+}
+
+// lastCheckpoint returns the newest retained checkpoint, nil when none.
+func (j *job) lastCheckpoint() *confmask.Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastCP
+}
+
+// noteIncremental records a successful incremental seed: the base job, the
+// stages its checkpoint lets this job skip, and the edited devices, as both
+// job state and a journaled event (Message non-empty → fsync boundary, so
+// the seed decision is durable before the pipeline starts).
+func (j *job) noteIncremental(baseID string, stages, edited []string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.baseJob, j.reusedStages = baseID, stages
+	j.appendEventLocked(Event{
+		State:        j.state,
+		BaseJob:      baseID,
+		ReusedStages: stages,
+		Message: fmt.Sprintf("incremental: reusing stages %v from base job %s (%d device(s) edited: %v)",
+			stages, baseID, len(edited), edited),
+	})
+}
+
+// noteIncrementalFallback records that a requested incremental seed could
+// not be used and the job is running in full, with the reason.
+func (j *job) noteIncrementalFallback(reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendEventLocked(Event{
+		State:   j.state,
+		Message: "incremental: falling back to full run: " + reason,
+	})
+}
 
 // isDraining reports whether the job is being drained.
 func (j *job) isDraining() bool {
@@ -437,6 +545,8 @@ func (j *job) status() Status {
 		Report:    j.report,
 		Restarts:  j.restarts,
 	}
+	st.BaseJob = j.baseJob
+	st.ReusedStages = append([]string(nil), j.reusedStages...)
 	if !j.started.IsZero() {
 		t := j.started
 		st.Started = &t
@@ -549,6 +659,17 @@ func (s *store) closeJournals() {
 		}
 		j.mu.Unlock()
 	}
+}
+
+// all snapshots every job (auto-base scanning).
+func (s *store) all() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	return out
 }
 
 // list returns every job's status, newest first.

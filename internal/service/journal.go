@@ -84,6 +84,10 @@ type journalRecord struct {
 	ID      string   `json:"id,omitempty"`
 	Hash    string   `json:"hash,omitempty"`
 	Request *Request `json:"request,omitempty"`
+	// Manifest content-addresses the submission's config files (file label
+	// → sha256 hex), next to the whole-bundle Hash; incremental base
+	// resolution diffs manifests across jobs.
+	Manifest map[string]string `json:"manifest,omitempty"`
 	// Event payload for Type == "event".
 	Event *Event `json:"event,omitempty"`
 }
@@ -137,7 +141,7 @@ func (jl *journal) create(id string, req *Request, hash string, created time.Tim
 	if err != nil {
 		return nil, err
 	}
-	if err := jw.append(journalRecord{Type: "submitted", Time: created, ID: id, Hash: hash, Request: req}, true); err != nil {
+	if err := jw.append(journalRecord{Type: "submitted", Time: created, ID: id, Hash: hash, Request: req, Manifest: manifestOf(req.Configs)}, true); err != nil {
 		jw.close()
 		return nil, err
 	}
@@ -276,12 +280,6 @@ func (jw *jobJournal) writeResult(configs map[string]string, report *confmask.Re
 	})
 }
 
-// removeCheckpoint deletes the checkpoint of a terminal job; its work is
-// done and the snapshot would only waste disk.
-func (jw *jobJournal) removeCheckpoint() {
-	_ = os.Remove(filepath.Join(jw.dir, "checkpoint.json"))
-}
-
 func (jw *jobJournal) close() {
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
@@ -329,6 +327,7 @@ type replayedJob struct {
 	// exceeds the cap instead of crash-looping the daemon on poison input.
 	starts     int
 	checkpoint *confmask.Checkpoint
+	manifest   map[string]string
 	result     map[string]string
 	report     *confmask.Report
 	// corrupt is set when the journal was unreadable; the job surfaces as
@@ -396,6 +395,7 @@ func (jl *journal) replayOne(id string) *replayedJob {
 		case "submitted":
 			rj.req = rec.Request
 			rj.hash = rec.Hash
+			rj.manifest = rec.Manifest
 			rj.created = rec.Time
 		case "event":
 			if rec.Event == nil {

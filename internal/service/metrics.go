@@ -79,6 +79,10 @@ type metrics struct {
 	QueriesTotal  expvar.Int // verification predicates answered
 	QueryCacheHit expvar.Int // query batches served by an already-built engine
 
+	JobsIncremental      expvar.Int // jobs seeded from another job's checkpoint
+	StagesReused         expvar.Int // pipeline stages skipped via a base checkpoint
+	IncrementalFallbacks expvar.Int // base-job requests that fell back to a full run
+
 	stageMu sync.Mutex
 	stages  map[string]*histogram // per-stage wall clock
 }
@@ -108,21 +112,24 @@ func (m *metrics) snapshot() map[string]any {
 	}
 	m.stageMu.Unlock()
 	return map[string]any{
-		"jobs_submitted_total":   m.JobsSubmitted.Value(),
-		"jobs_deduped_total":     m.JobsDeduped.Value(),
-		"jobs_rejected_total":    m.JobsRejected.Value(),
-		"jobs_done_total":        m.JobsDone.Value(),
-		"jobs_failed_total":      m.JobsFailed.Value(),
-		"jobs_cancelled_total":   m.JobsCancelled.Value(),
-		"jobs_panicked_total":    m.JobsPanicked.Value(),
-		"jobs_requeued_total":    m.JobsRequeued.Value(),
-		"jobs_recovered_total":   m.JobsRecovered.Value(),
-		"journal_errors_total":   m.JournalErrors.Value(),
-		"jobs_running":           m.JobsRunning.Value(),
-		"queue_depth":            m.QueueDepth.Value(),
-		"queries_total":          m.QueriesTotal.Value(),
-		"query_cache_hits_total": m.QueryCacheHit.Value(),
-		"stage_seconds":          stages,
+		"jobs_submitted_total":        m.JobsSubmitted.Value(),
+		"jobs_deduped_total":          m.JobsDeduped.Value(),
+		"jobs_rejected_total":         m.JobsRejected.Value(),
+		"jobs_done_total":             m.JobsDone.Value(),
+		"jobs_failed_total":           m.JobsFailed.Value(),
+		"jobs_cancelled_total":        m.JobsCancelled.Value(),
+		"jobs_panicked_total":         m.JobsPanicked.Value(),
+		"jobs_requeued_total":         m.JobsRequeued.Value(),
+		"jobs_recovered_total":        m.JobsRecovered.Value(),
+		"journal_errors_total":        m.JournalErrors.Value(),
+		"jobs_running":                m.JobsRunning.Value(),
+		"queue_depth":                 m.QueueDepth.Value(),
+		"queries_total":               m.QueriesTotal.Value(),
+		"query_cache_hits_total":      m.QueryCacheHit.Value(),
+		"jobs_incremental_total":      m.JobsIncremental.Value(),
+		"stages_reused_total":         m.StagesReused.Value(),
+		"incremental_fallbacks_total": m.IncrementalFallbacks.Value(),
+		"stage_seconds":               stages,
 	}
 }
 

@@ -358,6 +358,17 @@ func (s *Server) run(j *job) {
 	j.mu.Lock()
 	jw, resume := j.jw, j.resume
 	j.mu.Unlock()
+	// Incremental resubmission: a job that names (or auto-discovers) a
+	// completed base and has no checkpoint of its own yet tries to seed
+	// from the base's. A crash-replayed incremental job already carries
+	// the imported checkpoint (persisted below before the pipeline ran)
+	// and resumes from it like any other.
+	if j.req.BaseJob != "" && resume == nil {
+		s.resolveBase(j)
+		j.mu.Lock()
+		resume = j.resume
+		j.mu.Unlock()
+	}
 
 	// Stage watchdog: a pipeline stage that stops emitting progress
 	// callbacks for StageTimeout gets the job cancelled with a structured
@@ -417,9 +428,13 @@ func (s *Server) run(j *job) {
 			s.cfg.StageHook(j.id, stage, iteration)
 		}
 	}
-	if jw != nil {
-		opts.Resume = resume
-		opts.Checkpoint = func(cp *confmask.Checkpoint) {
+	opts.Resume = resume
+	opts.Checkpoint = func(cp *confmask.Checkpoint) {
+		// Tee every checkpoint into the job record — completed jobs keep
+		// their final checkpoint so later submissions can seed from it,
+		// journaled or not.
+		j.setLastCheckpoint(cp)
+		if jw != nil {
 			if err := jw.writeCheckpoint(cp); err != nil {
 				cancelCause(&journalFailure{err: err})
 			}
@@ -442,10 +457,9 @@ func (s *Server) run(j *job) {
 	var jf *journalFailure
 	switch {
 	case err == nil:
+		// The final checkpoint is deliberately kept, in memory and on
+		// disk: it is what incremental resubmissions seed from.
 		j.finish(StateDone, result, report, "", now, closed, d)
-		if jw != nil {
-			jw.removeCheckpoint()
-		}
 		s.metrics.JobsDone.Add(1)
 	case errors.As(err, &pe):
 		s.metrics.JobsPanicked.Add(1)
@@ -484,6 +498,115 @@ func (s *Server) run(j *job) {
 		j.finish(StateFailed, nil, nil, err.Error(), now, closed, d)
 		s.store.unindexHash(j)
 		s.metrics.JobsFailed.Add(1)
+	}
+}
+
+// resolveBase resolves a job's BaseJob request into an imported checkpoint
+// on j.resume. On success it journals the imported checkpoint before the
+// pipeline starts (so a SIGKILL mid-run replays into the same incremental
+// resume), emits the seed event carrying base_job/reused_stages, and bumps
+// the incremental metrics. Any gate failure falls back to a full run with
+// an event naming the reason — incremental is an optimization, never a
+// correctness risk.
+func (s *Server) resolveBase(j *job) {
+	var base *job
+	var reason string
+	if j.req.BaseJob == "auto" {
+		if base = s.findAutoBase(j); base == nil {
+			reason = "no completed compatible base job found"
+		}
+	} else if b, ok := s.store.get(j.req.BaseJob); ok {
+		base = b
+	} else {
+		reason = fmt.Sprintf("unknown base job %q", j.req.BaseJob)
+	}
+	if base != nil {
+		st := base.status()
+		cp := base.lastCheckpoint()
+		switch {
+		case base.isTombstone():
+			reason = fmt.Sprintf("base job %s lost its output to journal corruption", base.id)
+		case st.State != StateDone:
+			reason = fmt.Sprintf("base job %s is %s, not done", base.id, st.State)
+		case cp == nil:
+			reason = fmt.Sprintf("base job %s has no retained checkpoint", base.id)
+		default:
+			imported, edited, err := confmask.ImportCheckpoint(cp, base.req.Configs, j.req.Configs, j.req.Options)
+			if err == nil {
+				stages := reusedStagesFor(imported.Stage)
+				j.noteIncremental(base.id, stages, edited)
+				j.mu.Lock()
+				j.resume = imported
+				j.lastCP = imported
+				jw := j.jw
+				j.mu.Unlock()
+				if jw != nil {
+					if werr := jw.writeCheckpoint(imported); werr != nil {
+						// The sticky journal error fails the job through the
+						// usual progress-path check; nothing more to do here.
+						return
+					}
+				}
+				s.metrics.JobsIncremental.Add(1)
+				s.metrics.StagesReused.Add(int64(len(stages)))
+				return
+			}
+			reason = err.Error()
+			if cls := confmask.ClassifyEdit(base.req.Configs, j.req.Configs); cls != "" {
+				reason += " (" + cls + ")"
+			}
+		}
+	}
+	j.noteIncrementalFallback(reason)
+	s.metrics.IncrementalFallbacks.Add(1)
+}
+
+// findAutoBase picks the completed, checkpointed job with the largest
+// per-device manifest overlap whose options produce comparable output;
+// ties go to the newest job. Nil when nothing overlaps at all.
+func (s *Server) findAutoBase(j *job) *job {
+	var best *job
+	bestOverlap := 0
+	for _, cand := range s.store.all() {
+		if cand.id == j.id || cand.isTombstone() {
+			continue
+		}
+		if cand.status().State != StateDone || cand.lastCheckpoint() == nil {
+			continue
+		}
+		if cand.req == nil || !sameOutputOptions(cand.req.Options, j.req.Options) {
+			continue
+		}
+		ov := manifestOverlap(cand.manifest, j.manifest)
+		if ov > bestOverlap || (ov == bestOverlap && ov > 0 && best != nil && cand.id > best.id) {
+			best, bestOverlap = cand, ov
+		}
+	}
+	return best
+}
+
+// sameOutputOptions reports whether two option sets produce the same
+// anonymization decisions for the same input. Parallelism is excluded
+// (results are byte-identical at any worker count).
+func sameOutputOptions(a, b confmask.Options) bool {
+	return a.KR == b.KR && a.KH == b.KH && a.NoiseP == b.NoiseP &&
+		a.Seed == b.Seed && a.Strategy == b.Strategy &&
+		a.FakeRouters == b.FakeRouters && a.OutputSyntax == b.OutputSyntax
+}
+
+// reusedStagesFor lists the pipeline stages a checkpoint at the given
+// stage lets a resumed run skip. Preprocessing counts: a checkpoint
+// covering every baseline consumer skips the simulation too.
+func reusedStagesFor(stage string) []string {
+	switch stage {
+	case "anonymity":
+		return []string{"preprocess", "topology", "equivalence", "anonymity"}
+	case "equivalence":
+		return []string{"preprocess", "topology", "equivalence"}
+	case "topology":
+		return []string{"topology"}
+	default:
+		return nil
 	}
 }
 
@@ -530,6 +653,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if len(req.Configs) == 0 {
 		writeError(w, http.StatusBadRequest, "request has no configs")
 		return
+	}
+	if req.BaseJob != "" && req.BaseJob != "auto" {
+		// An explicitly named base must at least exist now; whether it is
+		// done and checkpointed is re-checked at run time (it may still be
+		// running), falling back to a full run if not.
+		if _, ok := s.store.get(req.BaseJob); !ok {
+			writeError(w, http.StatusBadRequest, "unknown base job %q", req.BaseJob)
+			return
+		}
 	}
 	// Zero-valued options fields fall back to the paper defaults inside
 	// the pipeline itself, so an empty "options" object is valid.
@@ -649,6 +781,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-changed:
 		case <-r.Context().Done():
+			return
+		case <-s.quit:
+			// Graceful shutdown: close follower streams of non-terminal
+			// jobs instead of holding http.Server.Shutdown hostage. The
+			// client sees a clean end-of-stream and reconnects with
+			// ?after=<seq> once a daemon is back.
 			return
 		}
 	}

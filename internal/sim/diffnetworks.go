@@ -1,0 +1,29 @@
+package sim
+
+import "confmask/internal/config"
+
+// DiffNetworks derives a FilterDiff between two independent network
+// snapshots, without requiring them to be successive filter states of the
+// same Net. Both snapshots are Built (which compiles their deny caches and
+// captures filter state but runs no simulation), then their filter states
+// are compared exactly as InvalidateFilters compares a Net against its own
+// prior capture.
+//
+// The returned diff names the destination prefixes whose routing can
+// change when oldCfg's filters are replaced by newCfg's; All() reports a
+// structural change (a filter attached or detached) that cannot be scoped
+// to specific prefixes. This is the cross-job analogue of DESIGN.md §8's
+// within-job dirty-destination machinery: a daemon comparing an edited
+// submission against a completed base job can use it to explain or bound
+// how much of the base result an edit can disturb.
+func DiffNetworks(oldCfg, newCfg *config.Network) (*FilterDiff, error) {
+	on, err := Build(oldCfg)
+	if err != nil {
+		return nil, err
+	}
+	nn, err := Build(newCfg)
+	if err != nil {
+		return nil, err
+	}
+	return diffFilterStates(on.filterState, nn.filterState), nil
+}

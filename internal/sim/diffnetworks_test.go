@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestDiffNetworksMatchesInvalidateFilters pins the cross-snapshot diff to
+// the within-Net one: diffing an untouched clone is empty, and diffing a
+// clone carrying a filter edit reports exactly the prefixes that
+// InvalidateFilters reports when the same edit is applied in place.
+func TestDiffNetworksMatchesInvalidateFilters(t *testing.T) {
+	cfg := mustParse(t, figure2Network(t))
+	clone := cfg.Clone()
+
+	d, err := DiffNetworks(cfg, clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("identical snapshots: diff not empty (all=%v prefixes=%v)", d.All(), d.Prefixes())
+	}
+
+	view, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfx := view.HostPrefix["h4"]
+	r := view.GatewayOf["h1"]
+
+	// Apply the same deny to the clone (cross-snapshot) and to the
+	// original in place (within-Net) and require identical dirty sets.
+	ed := clone.Device(r)
+	if !attachIGPDeny(ed, ed.Interfaces[0].Name, pfx) {
+		t.Fatalf("could not attach filter on %s", r)
+	}
+	cross, err := DiffNetworks(cfg, clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	od := cfg.Device(r)
+	if !attachIGPDeny(od, od.Interfaces[0].Name, pfx) {
+		t.Fatalf("could not attach filter on %s", r)
+	}
+	within := view.InvalidateFilters()
+
+	if cross.All() != within.All() {
+		t.Fatalf("All mismatch: cross=%v within=%v", cross.All(), within.All())
+	}
+	cp, wp := cross.Prefixes(), within.Prefixes()
+	if len(cp) != len(wp) {
+		t.Fatalf("prefix count mismatch: cross=%v within=%v", cp, wp)
+	}
+	for i := range cp {
+		if cp[i] != wp[i] {
+			t.Fatalf("prefix mismatch at %d: cross=%v within=%v", i, cp, wp)
+		}
+	}
+	if !cross.Affects(pfx) {
+		t.Fatalf("cross-snapshot diff misses denied prefix %v", pfx)
+	}
+
+	// Direction matters for nothing here (filter-state diff is
+	// symmetric in what it marks), but both orders must at least agree
+	// on the dirty set.
+	rev, err := DiffNetworks(clone, mustParse(t, figure2Network(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rev.Affects(pfx) {
+		t.Fatalf("reverse diff misses denied prefix %v", pfx)
+	}
+}
