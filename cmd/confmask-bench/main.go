@@ -36,6 +36,8 @@ func main() {
 	dataplaneOut := flag.String("dataplane-out", "BENCH_dataplane.json", "file the dataplane experiment writes its measurements to (empty = don't write)")
 	queryOut := flag.String("query-out", "BENCH_query.json", "file the query experiment writes its measurements to (empty = don't write)")
 	incrementalOut := flag.String("incremental-out", "BENCH_incremental.json", "file the incremental experiment writes its measurements to (empty = don't write)")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "file the scale experiment writes its measurements to (empty = don't write)")
+	scaleSmoke := flag.Bool("scale-smoke", false, "restrict the scale experiment to FatTree08 (CI smoke budget)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -103,6 +105,13 @@ func main() {
 	}
 	if want("incremental") {
 		must(printIncremental(r, *incrementalOut))
+	}
+	if want("scale") && (len(wanted) > 0 || *scaleSmoke) {
+		// The full scale experiment takes minutes (FatTree16's materialized
+		// extraction alone is ~50s), so a default all-experiments run only
+		// includes it in smoke form; ask for `-only scale` to measure the
+		// large networks.
+		must(printScale(r, *scaleOut, *scaleSmoke))
 	}
 	fmt.Printf("\ntotal harness time: %v\n", time.Since(start).Round(time.Millisecond))
 }
@@ -405,5 +414,48 @@ func printTable3(r *experiments.Runner) error {
 		fmt.Printf("%-11s %4d %4d %10d %8d %10d %8d\n",
 			row.Net, row.KR, row.KH, row.Protocol, row.Filter, row.Interface, row.TotalLines)
 	}
+	return nil
+}
+
+func printScale(r *experiments.Runner, out string, smoke bool) error {
+	rows, err := r.ScaleBench(smoke)
+	if err != nil {
+		return err
+	}
+	title := "Thousand-router scale: digest vs full extraction, pipeline stages"
+	if smoke {
+		title += " (smoke subset)"
+	}
+	header(title)
+	fmt.Printf("%-17s %7s %5s %6s %10s %9s %9s %8s %9s %9s %11s %5s\n",
+		"Network", "routers", "|H|", "links", "simulate", "digest", "full", "speedup",
+		"dig-heap", "full-heap", "pipeline", "iters")
+	for _, row := range rows {
+		speedup := 0.0
+		if row.ExtractDigestMS > 0 {
+			speedup = row.ExtractFullMS / row.ExtractDigestMS
+		}
+		fmt.Printf("%-17s %7d %5d %6d %8.0fms %7.0fms %7.0fms %7.1fx %8.1fM %8.1fM %9.0fms %5d\n",
+			row.Net, row.Routers, row.Hosts, row.Links,
+			row.SimulateMS, row.ExtractDigestMS, row.ExtractFullMS, speedup,
+			float64(row.PeakHeapDigestBytes)/(1<<20), float64(row.PeakHeapFullBytes)/(1<<20),
+			row.PipelineTotalMS, row.EquivIterations)
+	}
+	fmt.Println("(expected: digest extraction ≥2x faster and several-times-lower peak heap than full at FatTree16;")
+	fmt.Println(" digest working set is bounded by workers × one destination's memos, the output by 16B/pair)")
+	if !smoke {
+		fmt.Println("(FatTree32 / MultiRegion32x32 generators exist as S3/S4 but are not benched by default)")
+	}
+	if out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
 	return nil
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStreamEventsReconnectsFromCursor drops the event stream mid-follow
+// and checks the client reconnects with the last-seen ?after=<seq> cursor,
+// finishing the follow without losing or duplicating events.
+func TestStreamEventsReconnectsFromCursor(t *testing.T) {
+	oldBase := retryBase
+	retryBase = time.Millisecond
+	defer func() { retryBase = oldBase }()
+
+	var conns atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch conns.Add(1) {
+		case 1:
+			if got := r.URL.Query().Get("after"); got != "0" {
+				t.Errorf("first connect: after=%q, want 0", got)
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"seq":1,"state":"queued","message":"queued"}`)
+			fmt.Fprintln(w, `{"seq":2,"state":"running","message":"started"}`)
+			w.(http.Flusher).Flush()
+			// Kill the connection mid-stream: the client must treat this as
+			// transient and resume, not abort the follow.
+			panic(http.ErrAbortHandler)
+		default:
+			if got := r.URL.Query().Get("after"); got != "2" {
+				t.Errorf("reconnect: after=%q, want 2", got)
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"seq":3,"state":"running","stage":"topology"}`)
+			fmt.Fprintln(w, `{"seq":4,"state":"done","message":"done"}`)
+		}
+	}))
+	defer srv.Close()
+
+	state, err := streamEvents(srv.URL, "j000001-abc", 0)
+	if err != nil {
+		t.Fatalf("streamEvents: %v", err)
+	}
+	if state != "done" {
+		t.Fatalf("state = %q, want done", state)
+	}
+	if n := conns.Load(); n != 2 {
+		t.Fatalf("connections = %d, want 2", n)
+	}
+}
+
+// TestStreamEventsGivesUpWithoutProgress pins the failure mode: a stream
+// that keeps dying without delivering any new event exhausts the attempt
+// budget instead of reconnecting forever.
+func TestStreamEventsGivesUpWithoutProgress(t *testing.T) {
+	oldBase, oldAttempts := retryBase, retryAttempts
+	retryBase, retryAttempts = time.Millisecond, 3
+	defer func() { retryBase, retryAttempts = oldBase, oldAttempts }()
+
+	var conns atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		panic(http.ErrAbortHandler)
+	}))
+	defer srv.Close()
+
+	if _, err := streamEvents(srv.URL, "j000001-abc", 0); err == nil {
+		t.Fatal("streamEvents succeeded against a server that always drops")
+	}
+	if n := conns.Load(); n != 3 {
+		t.Fatalf("connections = %d, want 3 (attempt budget)", n)
+	}
+}
+
+// TestPostNDJSONHonorsRetryAfter serves one 429 carrying Retry-After: 1 and
+// checks the retry waits that long instead of the 1ms fixed backoff.
+func TestPostNDJSONHonorsRetryAfter(t *testing.T) {
+	oldBase := retryBase
+	retryBase = time.Millisecond
+	defer func() { retryBase = oldBase }()
+
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"queue full"}`)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := postNDJSON(srv.URL, []byte("{}"))
+	if err != nil {
+		t.Fatalf("postNDJSON: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v; Retry-After: 1 not honored", elapsed)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("calls = %d, want 2", n)
+	}
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	confmaskd [-addr :8619] [-workers N] [-queue N] [-job-timeout 15m]
-//	          [-data-dir DIR]
+//	          [-data-dir DIR] [-pprof-addr 127.0.0.1:6060]
 //
 // With -data-dir the daemon is crash-safe: submissions and job events are
 // journaled, stage checkpoints are persisted, and a restart against the
@@ -38,6 +38,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +61,7 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", 3, "max daemon starts that may execute one journaled job before it fails")
 	maxQueryBatch := flag.Int("max-query-batch", 4096, "max predicates per verification query batch")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-predicate evaluation budget on the query endpoint")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled; bind to localhost)")
 	faultSpec := flag.String("fault", "", "fault injection spec for chaos testing, e.g. 'service.journal.sync=drop,worker.run=panic@2' (testing only)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -87,6 +89,28 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("open service: %v", err)
+	}
+
+	// Profiling listener, separate from the API: pprof handlers are never
+	// mounted on the job mux, so the default (no -pprof-addr) exposes
+	// nothing, and when enabled the operator chooses a loopback-only bind.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listen: %v", err)
+		}
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", pln.Addr())
+			if err := http.Serve(pln, mux); err != nil {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
 	}
 
 	// Listen before announcing: with -addr 127.0.0.1:0 the kernel picks the

@@ -168,6 +168,12 @@ type Report struct {
 	// "render"). Stages that did not run (e.g. "anonymity" with KH=1) are
 	// absent.
 	Stages map[string]time.Duration
+	// StageAlloc is the per-stage heap-allocation breakdown in bytes
+	// (runtime.MemStats.TotalAlloc deltas), keyed like Stages. It is the
+	// memory-side view of the same pipeline run: a stage whose allocation
+	// grows quadratically with the network shows up here long before the
+	// process OOMs.
+	StageAlloc map[string]uint64
 }
 
 // parseAny parses configurations in either supported syntax, auto-detected
@@ -240,6 +246,14 @@ func AnonymizeContext(ctx context.Context, configs map[string]string, o Options)
 	if rep.Timing.RouteAnon > 0 {
 		stages[StageAnonymity] = rep.Timing.RouteAnon
 	}
+	stageAlloc := map[string]uint64{
+		StagePreprocess:  rep.Alloc.Preprocess,
+		StageTopology:    rep.Alloc.Topology,
+		StageEquivalence: rep.Alloc.RouteEquiv,
+	}
+	if rep.Timing.RouteAnon > 0 {
+		stageAlloc[StageAnonymity] = rep.Alloc.RouteAnon
+	}
 	r := &Report{
 		FakeHosts:    append([]string(nil), rep.FakeHosts...),
 		FakeRouters:  append([]string(nil), rep.FakeRouters...),
@@ -250,6 +264,7 @@ func AnonymizeContext(ctx context.Context, configs map[string]string, o Options)
 		UC:           rep.UC,
 		Duration:     rep.Timing.Total() + renderTime,
 		Stages:       stages,
+		StageAlloc:   stageAlloc,
 	}
 	for _, e := range rep.FakeEdges {
 		r.FakeLinks = append(r.FakeLinks, e.A+"<->"+e.B)

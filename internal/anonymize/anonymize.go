@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"runtime"
+	"sync"
 	"time"
 
 	"confmask/internal/config"
@@ -139,6 +141,32 @@ func (t Timing) Total() time.Duration {
 	return t.Preprocess + t.Topology + t.RouteEquiv + t.RouteAnon
 }
 
+// Alloc records per-stage heap allocation (runtime.MemStats.TotalAlloc
+// deltas, in bytes) — the memory analogue of Timing. Cumulative allocation
+// is the observable that exposes quadratic blowups regardless of when the
+// GC happens to run; live-heap peaks are sampled separately by the scale
+// benchmark.
+type Alloc struct {
+	Preprocess uint64
+	Topology   uint64
+	RouteEquiv uint64
+	RouteAnon  uint64
+}
+
+// Total returns the end-to-end allocation.
+func (a Alloc) Total() uint64 {
+	return a.Preprocess + a.Topology + a.RouteEquiv + a.RouteAnon
+}
+
+// totalAlloc reads the process's cumulative allocated-bytes counter. One
+// ReadMemStats stop-the-world per stage boundary is noise next to a
+// control-plane simulation.
+func totalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
 // Report describes everything a pipeline run changed.
 type Report struct {
 	// FakeEdges are the router-to-router links added for k_R anonymity.
@@ -162,6 +190,8 @@ type Report struct {
 	UC float64
 	// Timing is the per-stage wall time.
 	Timing Timing
+	// Alloc is the per-stage heap allocation.
+	Alloc Alloc
 }
 
 // Run anonymizes a copy of cfg and returns it with a report; cfg itself is
@@ -223,11 +253,13 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 	if needBase {
 		opts.progress("preprocess", 0)
 		t0 = time.Now()
+		a0 := totalAlloc()
 		base, err = newBaseline(cfg, opts.simOpts())
 		if err != nil {
 			return nil, nil, fmt.Errorf("anonymize: preprocessing: %w", err)
 		}
 		rep.Timing.Preprocess = time.Since(t0)
+		rep.Alloc.Preprocess = totalAlloc() - a0
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -246,12 +278,14 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 		// Step 1: topology anonymization.
 		opts.progress("topology", 0)
 		t0 = time.Now()
-		fake, err := anonymizeTopology(out, pool, base, opts.KR, rng)
+		a0 := totalAlloc()
+		fake, err := anonymizeTopology(out, pool, base, opts, rng)
 		if err != nil {
 			return nil, nil, fmt.Errorf("anonymize: topology: %w", err)
 		}
 		rep.FakeEdges = fake
 		rep.Timing.Topology = time.Since(t0)
+		rep.Alloc.Topology = totalAlloc() - a0
 		opts.emitCheckpoint("topology", out, src, rep)
 	}
 	if err := ctx.Err(); err != nil {
@@ -261,6 +295,7 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 	if resumed < stageRank("equivalence") {
 		// Step 2.1: route equivalence.
 		t0 = time.Now()
+		a0 := totalAlloc()
 		switch opts.Strategy {
 		case ConfMask:
 			rep.EquivIterations, rep.EquivFilters, err = routeEquivalence(ctx, out, base, opts)
@@ -279,6 +314,7 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 			return nil, nil, fmt.Errorf("anonymize: route equivalence (%v): %w", opts.Strategy, err)
 		}
 		rep.Timing.RouteEquiv = time.Since(t0)
+		rep.Alloc.RouteEquiv = totalAlloc() - a0
 		opts.emitCheckpoint("equivalence", out, src, rep)
 	}
 	if err := ctx.Err(); err != nil {
@@ -290,6 +326,7 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 		if !opts.SkipRouteAnonymity && opts.KH > 1 {
 			opts.progress("anonymity", 0)
 			t0 = time.Now()
+			a0 := totalAlloc()
 			hosts, filters, err := routeAnonymity(ctx, out, pool, base, opts, rng)
 			if err != nil {
 				if ctxErr := ctx.Err(); ctxErr != nil {
@@ -300,6 +337,7 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 			rep.FakeHosts = hosts
 			rep.AnonFilters = filters
 			rep.Timing.RouteAnon = time.Since(t0)
+			rep.Alloc.RouteAnon = totalAlloc() - a0
 			opts.emitCheckpoint("anonymity", out, src, rep)
 		}
 	}
@@ -318,11 +356,18 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 // compares against: its topology (edge set E), data plane, and the
 // DP[r, dest] next-hop index.
 type baseline struct {
-	cfg   *config.Network
-	snap  *sim.Snapshot
-	topo  *topology.Graph
-	dp    *sim.DataPlane
-	hosts []string
+	cfg  *config.Network
+	snap *sim.Snapshot
+	topo *topology.Graph
+	// dpDig is the original data plane as per-pair 128-bit digests — all
+	// the ConfMask pipeline needs for its equivalence checks, at 16 bytes
+	// per ordered pair instead of materialized path sets.
+	dpDig *sim.PairDigests
+	// dp is the fully materialized data plane, built lazily: only the
+	// strawman baselines compare per-pair hop sequences.
+	dpOnce sync.Once
+	dp     *sim.DataPlane
+	hosts  []string
 	// dests is every destination Algorithm 1 preserves: all host LAN
 	// prefixes plus the external equivalence-class prefixes of §9
 	// (Internet destinations originated via discard statics).
@@ -343,7 +388,7 @@ func newBaseline(cfg *config.Network, simOpts sim.Options) (*baseline, error) {
 		cfg:      cfg,
 		snap:     snap,
 		topo:     snap.Net.Topology(),
-		dp:       snap.ExtractDataPlane(),
+		dpDig:    snap.PairDigestsFor(cfg.Hosts()),
 		hosts:    cfg.Hosts(),
 		external: snap.Net.ExternalDestinations(),
 		nextHops: make(map[string]map[string]map[string]bool),
@@ -364,4 +409,12 @@ func newBaseline(cfg *config.Network, simOpts sim.Options) (*baseline, error) {
 		b.nextHops[r] = idx
 	}
 	return b, nil
+}
+
+// dataPlane materializes the original network's full data plane on first
+// use. The ConfMask pipeline itself never calls this — it compares dpDig
+// digests — so large runs avoid holding H² path sets for the baseline.
+func (b *baseline) dataPlane() *sim.DataPlane {
+	b.dpOnce.Do(func() { b.dp = b.snap.DataPlaneFor(b.hosts) })
+	return b.dp
 }

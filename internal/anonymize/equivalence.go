@@ -206,11 +206,20 @@ func routeEquivalence(ctx context.Context, out *config.Network, base *baseline, 
 			view.InvalidateFilters()
 		}
 		snap := sim.SimulateNetOpts(view, opts.simOpts())
-		changed := 0
-		for _, r := range out.Routers() {
+		// The scan fans out per router: addFilter only ever mutates the
+		// scanned router's own device (its prefix lists and distribute-list
+		// maps), and its add-or-skip decision reads only the snapshot, the
+		// immutable baseline, and that same device — so routers are
+		// independent within an iteration and the filters added are
+		// identical at any worker count. Per-slot counts merge after the
+		// join.
+		routers := out.Routers()
+		counts := make([]int, len(routers))
+		sim.ForEachIndex(opts.simOpts().Workers(), len(routers), func(ri int) {
+			r := routers[ri]
 			fib := snap.FIB(r)
 			if fib == nil {
-				continue
+				return
 			}
 			orig, known := base.nextHops[r]
 			if !known {
@@ -218,7 +227,7 @@ func routeEquivalence(ctx context.Context, out *config.Network, base *baseline, 
 				// carries original traffic — wrong paths through it are
 				// filtered at the real routers feeding it — and leaving
 				// its tables unfiltered is what keeps it inconspicuous.
-				continue
+				return
 			}
 			for _, p := range base.dests {
 				rt := fib[p]
@@ -233,19 +242,23 @@ func routeEquivalence(ctx context.Context, out *config.Network, base *baseline, 
 						continue // (r, nxt) ∈ E: real link, fixed upstream
 					}
 					if addFilter(out, snap.Net, r, nh, p, rt.Source) {
-						changed++
+						counts[ri]++
 					}
 				}
 			}
+		})
+		changed := 0
+		for _, c := range counts {
+			changed += c
 		}
 		filters += changed
 		if changed == 0 {
-			dp := snap.DataPlaneFor(base.hosts)
-			if !sim.EqualOver(base.dp, dp, base.hosts) {
-				pairs := sim.DiffPairs(base.dp, dp, base.hosts)
-				if len(pairs) == 0 {
-					return iter, filters, fmt.Errorf("converged after %d iterations but data planes differ", iter)
-				}
+			// Functional-equivalence assertion over digests: per-pair
+			// 128-bit fingerprints of the canonical path sets, extracted
+			// through transient per-destination engines — no H² path
+			// materialization for either side of the comparison.
+			anonDig := snap.PairDigestsFor(base.hosts)
+			if pairs := base.dpDig.DiffPairs(anonDig); len(pairs) != 0 {
 				return iter, filters, fmt.Errorf("converged after %d iterations but %d host pairs still differ (first: %v)", iter, len(pairs), pairs[0])
 			}
 			// External equivalence classes: every router's next-hop set

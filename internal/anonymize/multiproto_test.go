@@ -133,7 +133,7 @@ func TestRouteEquivalenceMultiProtocol(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sim.EqualOver(base.dp, snap.DataPlaneFor(base.hosts), base.hosts) {
+	if !sim.EqualOver(base.dataPlane(), snap.DataPlaneFor(base.hosts), base.hosts) {
 		t.Fatal("data planes differ after convergence")
 	}
 }

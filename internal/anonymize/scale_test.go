@@ -8,6 +8,47 @@ import (
 	"confmask/internal/sim"
 )
 
+// TestPartitionPathParallelismIdentity pins the tentpole invariant on the
+// partition-parallel topology path: for a network above partitionMinRouters
+// (MultiRegion10x30, 300 routers — Partition splits it into its 10 regions
+// plus the backbone hubs) the anonymized output is byte-identical at any
+// Options.Parallelism. Skipped under -short.
+func TestPartitionPathParallelismIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition-path identity test skipped in short mode")
+	}
+	cfg, err := netgen.MultiRegion10x30()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cfg.Routers()); n < partitionMinRouters {
+		t.Fatalf("MultiRegion10x30 has %d routers, below the partition gate %d", n, partitionMinRouters)
+	}
+	var want map[string]string
+	for _, par := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Seed = 1
+		opts.Parallelism = par
+		anon, _, err := Run(cfg, opts)
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", par, err)
+		}
+		got := anon.Render()
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Parallelism=%d: %d devices vs %d", par, len(got), len(want))
+		}
+		for name, text := range want {
+			if got[name] != text {
+				t.Fatalf("Parallelism=%d: device %s renders differently", par, name)
+			}
+		}
+	}
+}
+
 // TestPipelineLargeNetworks runs the full pipeline on every Table 2
 // evaluation network at the paper's default parameters and verifies
 // functional equivalence and k-anonymity at scale. Skipped under -short.

@@ -39,8 +39,8 @@ func strawman1(out *config.Network, base *baseline, opts Options) (int, int, err
 	view.InvalidateFilters()
 	snap := sim.SimulateNetOpts(view, opts.simOpts())
 	dp := snap.DataPlaneFor(base.hosts)
-	if !sim.EqualOver(base.dp, dp, base.hosts) {
-		pairs := sim.DiffPairs(base.dp, dp, base.hosts)
+	if !sim.EqualOver(base.dataPlane(), dp, base.hosts) {
+		pairs := sim.DiffPairs(base.dataPlane(), dp, base.hosts)
 		if len(pairs) == 0 {
 			return 1, filters, fmt.Errorf("strawman1 left data planes different")
 		}
@@ -126,7 +126,7 @@ func strawman2(ctx context.Context, out *config.Network, base *baseline, opts Op
 		snap := sim.SimulateNetOpts(view, opts.simOpts())
 		dp := snap.DataPlaneForDirty(base.hosts, prev, diff)
 		prev = dp
-		diffs := sim.DiffPairs(base.dp, dp, base.hosts)
+		diffs := sim.DiffPairs(base.dataPlane(), dp, base.hosts)
 		if len(diffs) == 0 {
 			return iter, filters, nil
 		}
@@ -151,7 +151,7 @@ func strawman2(ctx context.Context, out *config.Network, base *baseline, opts Op
 func fixOneHop(out *config.Network, snap *sim.Snapshot, base *baseline, pair sim.Pair) bool {
 	dstPfx := base.snap.Net.HostPrefix[pair.Dst]
 	origKeys := make(map[string]bool)
-	for _, p := range base.dp.Pairs[pair] {
+	for _, p := range base.dataPlane().Pairs[pair] {
 		origKeys[p.Key()] = true
 	}
 	for _, path := range snap.Trace(pair.Src, pair.Dst) {

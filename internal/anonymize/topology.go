@@ -13,6 +13,11 @@ import (
 	"confmask/internal/topology"
 )
 
+// partitionMinRouters gates the partition-parallel topology path: below
+// this router count the global algorithm runs (and every pinned Table 2
+// output stays byte-identical — the largest, USCarrier, has 161 routers).
+const partitionMinRouters = 200
+
 // anonymizeTopology is Step 1 of the pipeline (§4.2): it adds fake links
 // until the router graph is k_R-degree anonymous, writing matching
 // interface and protocol configuration into out.
@@ -27,7 +32,15 @@ import (
 //
 // Fake OSPF links carry cost min_cost(a, b) — the original shortest-path
 // cost between their endpoints — as the link-state SFE condition requires.
-func anonymizeTopology(out *config.Network, pool *netaddr.Pool, base *baseline, kR int, rng *rand.Rand) ([]topology.Edge, error) {
+//
+// Pure IGP networks of at least partitionMinRouters routers take the
+// partition-parallel path (kdegree.AnonymizeParallel): pods/regions
+// anonymize concurrently over opts.Parallelism workers with a
+// cross-partition fixup pass. The gate is a pure function of the input
+// network, so output stays deterministic; every Table 2 network is far
+// below the threshold and keeps its exact pre-partition output.
+func anonymizeTopology(out *config.Network, pool *netaddr.Pool, base *baseline, opts Options, rng *rand.Rand) ([]topology.Edge, error) {
+	kR := opts.KR
 	// The working graph reflects the network as it currently stands —
 	// including any fake routers the scale-obfuscation extension added —
 	// so the k_R guarantee covers every router the adversary will see.
@@ -70,7 +83,12 @@ func anonymizeTopology(out *config.Network, pool *netaddr.Pool, base *baseline, 
 
 	if !multiAS {
 		g := work.Clone()
-		res, err := kdegree.Anonymize(g, kR, rng)
+		var res *kdegree.Result
+		if g.NumNodes() >= partitionMinRouters {
+			res, err = kdegree.AnonymizeParallel(g, kR, opts.simOpts().Workers(), rng)
+		} else {
+			res, err = kdegree.Anonymize(g, kR, rng)
+		}
 		if err != nil {
 			return nil, err
 		}

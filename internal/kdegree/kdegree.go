@@ -39,6 +39,17 @@ type Result struct {
 // The rng drives tie-breaking between equally good partners so repeated
 // runs with different seeds yield different fake topologies.
 func Anonymize(g *topology.Graph, k int, rng *rand.Rand) (*Result, error) {
+	return AnonymizeOffsets(g, k, nil, rng)
+}
+
+// AnonymizeOffsets is Anonymize over *effective* degrees: router r counts
+// as having degree RouterDegree(r) + offsets[r]. A nil offsets map is the
+// plain algorithm. The partition-parallel path (see partition.go) hands
+// each partition its induced subgraph plus the fixed cross-partition
+// degree of every member as offsets, so a partition anonymizes the
+// routers' true global degrees while only ever adding intra-partition
+// edges.
+func AnonymizeOffsets(g *topology.Graph, k int, offsets map[string]int, rng *rand.Rand) (*Result, error) {
 	routers := g.NodesOf(topology.Router)
 	n := len(routers)
 	if k <= 1 {
@@ -51,20 +62,23 @@ func Anonymize(g *topology.Graph, k int, rng *rand.Rand) (*Result, error) {
 	res := &Result{}
 	// Every round either finishes or adds at least one edge, and the
 	// complete graph (bounded by n(n−1)/2 additions) is k-anonymous for
-	// any k ≤ n, so this bound guarantees termination.
+	// any k ≤ n, so this bound guarantees termination. (With offsets the
+	// complete graph need not be k-anonymous — a partition whose members
+	// have irreconcilable external degrees exhausts the bound and returns
+	// the error below; AnonymizeParallel falls back to the global pass.)
 	maxRounds := n*(n-1)/2 + 2
 	for round := 0; round < maxRounds; round++ {
-		if g.MinSameDegreeCount() >= k {
+		if minSameDegreeCount(g, routers, offsets) >= k {
 			res.Iterations = round
 			return res, nil
 		}
 		degs := make([]int, n)
 		for i, r := range routers {
-			degs[i] = g.RouterDegree(r)
+			degs[i] = g.RouterDegree(r) + offsets[r]
 		}
 		targets := AnonymousTargets(degs, k)
-		added := realize(g, routers, targets, rng, res)
-		if g.MinSameDegreeCount() >= k {
+		added := realize(g, routers, targets, offsets, rng, res)
+		if minSameDegreeCount(g, routers, offsets) >= k {
 			res.Iterations = round + 1
 			return res, nil
 		}
@@ -73,18 +87,37 @@ func Anonymize(g *topology.Graph, k int, rng *rand.Rand) (*Result, error) {
 			// adjacent). Force progress by joining the two lowest-degree
 			// non-adjacent routers; the next round re-plans on the new
 			// sequence.
-			if !forceEdge(g, routers, res) {
-				// Complete graph: every degree equals n-1, which is
-				// k-anonymous for all k ≤ n, so this is unreachable —
-				// defensive only.
+			if !forceEdge(g, routers, offsets, res) {
+				// Complete graph: without offsets every degree equals n-1,
+				// which is k-anonymous for all k ≤ n, so this is
+				// unreachable — defensive only. With offsets it is the
+				// irreconcilable-partition exit.
 				break
 			}
 		}
 	}
-	if g.MinSameDegreeCount() >= k {
+	if minSameDegreeCount(g, routers, offsets) >= k {
 		return res, nil
 	}
 	return nil, fmt.Errorf("kdegree: failed to reach %d-degree anonymity", k)
+}
+
+// minSameDegreeCount is Graph.MinSameDegreeCount over effective degrees.
+func minSameDegreeCount(g *topology.Graph, routers []string, offsets map[string]int) int {
+	if len(routers) == 0 {
+		return 0
+	}
+	counts := make(map[int]int)
+	for _, r := range routers {
+		counts[g.RouterDegree(r)+offsets[r]]++
+	}
+	min := len(routers)
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+	}
+	return min
 }
 
 // AnonymousTargets computes, for an arbitrary-order degree slice, the
@@ -168,10 +201,10 @@ func AnonymousTargets(degs []int, k int) []int {
 
 // realize greedily adds edges between routers with positive residual
 // demand, never duplicating an edge. Returns the number of edges added.
-func realize(g *topology.Graph, routers []string, targets []int, rng *rand.Rand, res *Result) int {
+func realize(g *topology.Graph, routers []string, targets []int, offsets map[string]int, rng *rand.Rand, res *Result) int {
 	residual := make(map[string]int, len(routers))
 	for i, r := range routers {
-		residual[r] = targets[i] - g.RouterDegree(r)
+		residual[r] = targets[i] - g.RouterDegree(r) - offsets[r]
 	}
 	added := 0
 	for {
@@ -187,7 +220,7 @@ func realize(g *topology.Graph, routers []string, targets []int, rng *rand.Rand,
 			// zero-residual partner with the lowest degree: its class
 			// shift is re-planned by the outer loop, and preferring low
 			// degrees keeps the graph's maximum degree untouched.
-			w = pickLowestDegreePartner(routers, u, g)
+			w = pickLowestDegreePartner(routers, u, g, offsets)
 			if w == "" {
 				residual[u] = 0 // adjacent to everyone; give up on u
 				continue
@@ -205,15 +238,15 @@ func realize(g *topology.Graph, routers []string, targets []int, rng *rand.Rand,
 }
 
 // pickLowestDegreePartner returns the non-adjacent router with the lowest
-// router degree (ties broken by name), or "" when u is adjacent to all.
-func pickLowestDegreePartner(routers []string, u string, g *topology.Graph) string {
+// effective degree (ties broken by name), or "" when u is adjacent to all.
+func pickLowestDegreePartner(routers []string, u string, g *topology.Graph, offsets map[string]int) string {
 	best := ""
 	bestDeg := -1
 	for _, r := range routers {
 		if r == u || g.HasEdge(u, r) {
 			continue
 		}
-		d := g.RouterDegree(r)
+		d := g.RouterDegree(r) + offsets[r]
 		if best == "" || d < bestDeg || (d == bestDeg && r < best) {
 			best = r
 			bestDeg = d
@@ -253,12 +286,12 @@ func pickMaxResidual(routers []string, residual map[string]int, exclude string, 
 	return cands[rng.Intn(len(cands))]
 }
 
-// forceEdge joins the two lowest-degree non-adjacent routers; false when
-// the router graph is complete.
-func forceEdge(g *topology.Graph, routers []string, res *Result) bool {
+// forceEdge joins the two lowest-effective-degree non-adjacent routers;
+// false when the router graph is complete.
+func forceEdge(g *topology.Graph, routers []string, offsets map[string]int, res *Result) bool {
 	byDeg := append([]string(nil), routers...)
 	sort.Slice(byDeg, func(i, j int) bool {
-		di, dj := g.RouterDegree(byDeg[i]), g.RouterDegree(byDeg[j])
+		di, dj := g.RouterDegree(byDeg[i])+offsets[byDeg[i]], g.RouterDegree(byDeg[j])+offsets[byDeg[j]]
 		if di != dj {
 			return di < dj
 		}

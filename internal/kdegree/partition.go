@@ -1,0 +1,250 @@
+package kdegree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"confmask/internal/topology"
+)
+
+// This file is the partition-parallel variant of k-degree anonymization.
+// Structured networks at scale — fat-tree pods, carrier regions — consist
+// of many similar components joined through a small set of high-degree
+// hubs (cores, gateway POPs). Partition exploits that: removing the hubs
+// splits the router graph into independent components, the hubs form a
+// partition of their own, and each partition can be anonymized
+// concurrently because:
+//
+//   - Every partition anonymizes its members' true global degrees: the
+//     induced subgraph plus a fixed per-router offset for edges that
+//     leave the partition (AnonymizeOffsets). Intra-partition edge
+//     additions never change a degree outside the partition, so the
+//     offsets stay valid for the whole run.
+//   - A degree multiset that is k-anonymous within every partition is
+//     k-anonymous globally: any degree value present anywhere appears at
+//     least k times inside whichever partition contributed it.
+//
+// Each partition draws from its own seeded RNG; the seeds come from the
+// caller's RNG in deterministic partition order before any worker starts,
+// and results are merged back in partition order — so the output is
+// byte-identical at any worker count, the invariant every pipeline test
+// pins. A cross-partition fixup pass re-checks the global definition and
+// falls back to the sequential global algorithm in the (defensive) cases
+// where per-partition anonymization cannot close the gap.
+
+// hubFactor marks a router as a hub when its degree is at least this
+// multiple of the average router degree.
+const hubFactor = 3
+
+// Partition splits g's routers into disjoint sets for independent
+// anonymization: hub routers (degree ≥ hubFactor × average) form one set,
+// each connected component left after hub removal forms another, and sets
+// smaller than minSize are folded together (smallest-first) so every
+// partition can host a k-anonymous degree class of size minSize. Returns
+// nil when the structure yields no useful decomposition (no hubs, a
+// single component, or everything collapses back into one set) — the
+// caller should use the global algorithm.
+func Partition(g *topology.Graph, minSize int) [][]string {
+	routers := g.NodesOf(topology.Router)
+	n := len(routers)
+	if n == 0 {
+		return nil
+	}
+	total := 0
+	deg := make(map[string]int, n)
+	for _, r := range routers {
+		deg[r] = g.RouterDegree(r)
+		total += deg[r]
+	}
+	avg := float64(total) / float64(n)
+	hub := make(map[string]bool)
+	var hubs []string
+	for _, r := range routers {
+		if float64(deg[r]) >= hubFactor*avg && deg[r] > 0 {
+			hub[r] = true
+			hubs = append(hubs, r)
+		}
+	}
+	if len(hubs) == 0 {
+		return nil
+	}
+
+	// Connected components of the non-hub region (BFS in sorted order for
+	// determinism).
+	visited := make(map[string]bool, n)
+	var parts [][]string
+	for _, root := range routers {
+		if hub[root] || visited[root] {
+			continue
+		}
+		comp := []string{root}
+		visited[root] = true
+		for i := 0; i < len(comp); i++ {
+			for _, nb := range g.Neighbors(comp[i]) {
+				if hub[nb] || visited[nb] || g.KindOf(nb) != topology.Router {
+					continue
+				}
+				visited[nb] = true
+				comp = append(comp, nb)
+			}
+		}
+		sort.Strings(comp)
+		parts = append(parts, comp)
+	}
+	if len(parts) < 2 {
+		return nil
+	}
+	parts = append(parts, hubs)
+
+	// Fold undersized partitions together, smallest-first (ties by first
+	// member name), until every partition can host a degree class of
+	// minSize members. Fake edges may join any router pair, so merged
+	// partitions need not be adjacent.
+	for {
+		sort.Slice(parts, func(i, j int) bool {
+			if len(parts[i]) != len(parts[j]) {
+				return len(parts[i]) < len(parts[j])
+			}
+			return parts[i][0] < parts[j][0]
+		})
+		if len(parts) < 2 || len(parts[0]) >= minSize {
+			break
+		}
+		merged := append(parts[0], parts[1]...)
+		sort.Strings(merged)
+		parts = append([][]string{merged}, parts[2:]...)
+	}
+	if len(parts) < 2 {
+		return nil
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i][0] < parts[j][0] })
+	return parts
+}
+
+// AnonymizeParallel is Anonymize decomposed over Partition: independent
+// partitions anonymize concurrently on up to `workers` goroutines
+// (workers ≤ 1 runs them sequentially — the result is identical either
+// way). It falls back to the plain global algorithm when the graph does
+// not decompose or a partition proves irreconcilable.
+func AnonymizeParallel(g *topology.Graph, k int, workers int, rng *rand.Rand) (*Result, error) {
+	parts := Partition(g, k)
+	if parts == nil {
+		return Anonymize(g, k, rng)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+
+	// Sub-seeds are drawn sequentially from the caller's RNG in partition
+	// order, before any concurrency starts: the main RNG stream advances
+	// by exactly len(parts) draws regardless of worker count, which keeps
+	// checkpoint fast-forward and the byte-identical-output invariant
+	// intact.
+	seeds := make([]int64, len(parts))
+	for i := range parts {
+		seeds[i] = rng.Int63()
+	}
+
+	type partResult struct {
+		res *Result
+		err error
+	}
+	results := make([]partResult, len(parts))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(parts) {
+					return
+				}
+				sub, offsets := inducedWithOffsets(g, parts[i])
+				res, err := AnonymizeOffsets(sub, k, offsets, rand.New(rand.NewSource(seeds[i])))
+				results[i] = partResult{res: res, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			// Irreconcilable partition (e.g. hubs whose external degrees
+			// cannot be equalized with intra-partition edges): the global
+			// algorithm still terminates, so use it on the untouched
+			// graph. The decision depends only on the input, so output
+			// determinism is preserved.
+			return Anonymize(g, k, rng)
+		}
+	}
+
+	// Deterministic merge in partition order.
+	out := &Result{}
+	for _, r := range results {
+		for _, e := range r.res.Added {
+			if err := g.AddEdge(e.A, e.B); err != nil {
+				return nil, err
+			}
+			out.Added = append(out.Added, e)
+		}
+		if r.res.Iterations > out.Iterations {
+			out.Iterations = r.res.Iterations
+		}
+	}
+
+	// Cross-partition fixup: per-partition k-anonymity over effective
+	// degrees implies the global definition, so this pass is normally a
+	// no-op — it exists to catch the implication's preconditions being
+	// violated (defensively) and to repair with the exact global
+	// algorithm rather than fail.
+	if g.MinSameDegreeCount() < k {
+		fix, err := Anonymize(g, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.Added = append(out.Added, fix.Added...)
+		out.Iterations += fix.Iterations
+	}
+	return out, nil
+}
+
+// inducedWithOffsets builds the subgraph induced by members plus each
+// member's cross-partition router degree (its fixed external offset).
+func inducedWithOffsets(g *topology.Graph, members []string) (*topology.Graph, map[string]int) {
+	in := make(map[string]bool, len(members))
+	for _, m := range members {
+		in[m] = true
+	}
+	sub := topology.New()
+	for _, m := range members {
+		sub.AddNode(m, topology.Router)
+	}
+	offsets := make(map[string]int, len(members))
+	for _, m := range members {
+		ext := 0
+		for _, nb := range g.Neighbors(m) {
+			if g.KindOf(nb) != topology.Router {
+				continue
+			}
+			if !in[nb] {
+				ext++
+				continue
+			}
+			if m < nb {
+				_ = sub.AddEdge(m, nb)
+			}
+		}
+		offsets[m] = ext
+	}
+	return sub, offsets
+}

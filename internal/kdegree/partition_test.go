@@ -1,0 +1,233 @@
+package kdegree
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"confmask/internal/topology"
+)
+
+// hubPodGraph builds the structure Partition targets: `hubs` core routers
+// in a ring, `pods` rings of `podSize` routers each, with every pod's
+// gateway (member 0) uplinked to two hubs. Hub degree ends up well above
+// 3× the average while gateways stay below it.
+func hubPodGraph(hubs, pods, podSize int) *topology.Graph {
+	g := topology.New()
+	for h := 0; h < hubs; h++ {
+		g.AddNode(fmt.Sprintf("hub%02d", h), topology.Router)
+	}
+	for h := 0; h < hubs; h++ {
+		_ = g.AddEdge(fmt.Sprintf("hub%02d", h), fmt.Sprintf("hub%02d", (h+1)%hubs))
+	}
+	for p := 0; p < pods; p++ {
+		for i := 0; i < podSize; i++ {
+			g.AddNode(fmt.Sprintf("p%02d-%02d", p, i), topology.Router)
+		}
+		for i := 0; i < podSize; i++ {
+			_ = g.AddEdge(fmt.Sprintf("p%02d-%02d", p, i), fmt.Sprintf("p%02d-%02d", p, (i+1)%podSize))
+		}
+		gw := fmt.Sprintf("p%02d-00", p)
+		_ = g.AddEdge(gw, fmt.Sprintf("hub%02d", p%hubs))
+		_ = g.AddEdge(gw, fmt.Sprintf("hub%02d", (p+1)%hubs))
+	}
+	return g
+}
+
+func TestPartitionStructure(t *testing.T) {
+	g := hubPodGraph(4, 12, 12)
+	parts := Partition(g, 2)
+	if parts == nil {
+		t.Fatal("expected a decomposition, got nil")
+	}
+	// Every router appears in exactly one partition.
+	seen := make(map[string]int)
+	for _, p := range parts {
+		for _, r := range p {
+			seen[r]++
+		}
+	}
+	for _, r := range g.NodesOf(topology.Router) {
+		if seen[r] != 1 {
+			t.Fatalf("router %s appears %d times across partitions", r, seen[r])
+		}
+	}
+	if len(seen) != g.NumNodes() {
+		t.Fatalf("partitions cover %d routers, graph has %d", len(seen), g.NumNodes())
+	}
+	// The four hubs form one partition; each pod ring forms another.
+	if len(parts) != 13 {
+		t.Fatalf("got %d partitions, want 13 (12 pods + hubs)", len(parts))
+	}
+	var hubPart []string
+	for _, p := range parts {
+		if p[0] == "hub00" {
+			hubPart = p
+		}
+	}
+	if want := []string{"hub00", "hub01", "hub02", "hub03"}; !reflect.DeepEqual(hubPart, want) {
+		t.Fatalf("hub partition = %v, want %v", hubPart, want)
+	}
+	// Deterministic: same input, same output.
+	if again := Partition(g, 2); !reflect.DeepEqual(parts, again) {
+		t.Fatal("Partition is not deterministic")
+	}
+}
+
+func TestPartitionNoDecomposition(t *testing.T) {
+	// A plain ring has no hubs — every degree equals the average.
+	ring := topology.New()
+	for i := 0; i < 20; i++ {
+		ring.AddNode(fmt.Sprintf("r%02d", i), topology.Router)
+	}
+	for i := 0; i < 20; i++ {
+		_ = ring.AddEdge(fmt.Sprintf("r%02d", i), fmt.Sprintf("r%02d", (i+1)%20))
+	}
+	if parts := Partition(ring, 2); parts != nil {
+		t.Fatalf("ring should not decompose, got %d partitions", len(parts))
+	}
+	// A star's singleton leaves fold back into one set when minSize
+	// exceeds what any fold short of everything can reach, collapsing to
+	// fewer than two partitions.
+	if parts := Partition(starGraph(8), 9); parts != nil {
+		t.Fatalf("star should collapse, got %v", parts)
+	}
+	if parts := Partition(topology.New(), 2); parts != nil {
+		t.Fatalf("empty graph → %v", parts)
+	}
+}
+
+func TestPartitionFoldsSmall(t *testing.T) {
+	g := hubPodGraph(4, 12, 12)
+	parts := Partition(g, 30)
+	if parts == nil {
+		t.Fatal("expected a decomposition, got nil")
+	}
+	for _, p := range parts[:len(parts)-1] {
+		// All partitions except possibly the last must meet minSize; the
+		// fold loop stops when the smallest does.
+		if len(p) < 30 {
+			t.Fatalf("partition of size %d below minSize 30: %v", len(p), p[:3])
+		}
+	}
+}
+
+func TestAnonymizeOffsets(t *testing.T) {
+	// A 6-ring where one router carries two external (offset) edges:
+	// effective degrees {4,2,2,2,2,2}. At k=2 the algorithm must raise
+	// some other router to 4 without ever seeing the external edges.
+	g := topology.New()
+	for i := 0; i < 6; i++ {
+		g.AddNode(fmt.Sprintf("r%d", i), topology.Router)
+	}
+	for i := 0; i < 6; i++ {
+		_ = g.AddEdge(fmt.Sprintf("r%d", i), fmt.Sprintf("r%d", (i+1)%6))
+	}
+	offsets := map[string]int{"r0": 2}
+	res, err := AnonymizeOffsets(g, 2, offsets, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("AnonymizeOffsets: %v", err)
+	}
+	routers := g.NodesOf(topology.Router)
+	if got := minSameDegreeCount(g, routers, offsets); got < 2 {
+		degs := make([]int, len(routers))
+		for i, r := range routers {
+			degs[i] = g.RouterDegree(r) + offsets[r]
+		}
+		t.Fatalf("effective degrees not 2-anonymous after realization: %v (added %v)", degs, res.Added)
+	}
+	if len(res.Added) == 0 {
+		t.Fatal("expected fake edges to be added")
+	}
+}
+
+func TestAnonymizeParallelMatchesSequentialWorkers(t *testing.T) {
+	const k = 2
+	base := hubPodGraph(4, 12, 12)
+	var want *Result
+	var wantEdges map[string]bool
+	for _, workers := range []int{1, 4, 16} {
+		g := base.Clone()
+		res, err := AnonymizeParallel(g, k, workers, rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := g.MinSameDegreeCount(); got < k {
+			t.Fatalf("workers=%d: MinSameDegreeCount=%d, want ≥ %d", workers, got, k)
+		}
+		edges := make(map[string]bool, len(res.Added))
+		for _, e := range res.Added {
+			edges[e.A+"|"+e.B] = true
+			if !g.HasEdge(e.A, e.B) {
+				t.Fatalf("workers=%d: reported edge %v missing from graph", workers, e)
+			}
+		}
+		if want == nil {
+			want, wantEdges = res, edges
+			continue
+		}
+		if !reflect.DeepEqual(res.Added, want.Added) {
+			t.Fatalf("workers=%d: added edges differ from workers=1:\n%v\nvs\n%v", workers, res.Added, want.Added)
+		}
+		if !reflect.DeepEqual(edges, wantEdges) {
+			t.Fatalf("workers=%d: edge sets differ", workers)
+		}
+	}
+}
+
+func TestAnonymizeParallelFallbackMatchesGlobal(t *testing.T) {
+	// A ring does not decompose, so AnonymizeParallel must produce exactly
+	// what Anonymize produces from the same seed.
+	mk := func() *topology.Graph {
+		g := topology.New()
+		for i := 0; i < 20; i++ {
+			g.AddNode(fmt.Sprintf("r%02d", i), topology.Router)
+		}
+		for i := 0; i < 20; i++ {
+			_ = g.AddEdge(fmt.Sprintf("r%02d", i), fmt.Sprintf("r%02d", (i+1)%20))
+		}
+		// Perturb one degree so there is work to do.
+		g.AddNode("stub", topology.Router)
+		_ = g.AddEdge("r00", "stub")
+		return g
+	}
+	g1, g2 := mk(), mk()
+	seq, err := Anonymize(g1, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AnonymizeParallel(g2, 3, 8, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Added, par.Added) {
+		t.Fatalf("fallback differs from global:\n%v\nvs\n%v", seq.Added, par.Added)
+	}
+}
+
+func TestInducedWithOffsets(t *testing.T) {
+	g := hubPodGraph(4, 12, 12)
+	sub, offsets := inducedWithOffsets(g, []string{"p00-00", "p00-01", "p00-02"})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("induced subgraph has %d nodes, want 3", sub.NumNodes())
+	}
+	// p00-00 keeps its ring edge to p00-01 inside; its other ring edge
+	// (to p00-11) and both hub uplinks become offsets.
+	if !sub.HasEdge("p00-00", "p00-01") || !sub.HasEdge("p00-01", "p00-02") {
+		t.Fatal("intra-member ring edges missing from induced subgraph")
+	}
+	if sub.HasEdge("p00-00", "p00-02") {
+		t.Fatal("unexpected edge in induced subgraph")
+	}
+	want := map[string]int{"p00-00": 3, "p00-01": 0, "p00-02": 1}
+	if !reflect.DeepEqual(offsets, want) {
+		t.Fatalf("offsets = %v, want %v", offsets, want)
+	}
+	// Effective degrees in the subgraph must equal global degrees.
+	for r, off := range offsets {
+		if sub.RouterDegree(r)+off != g.RouterDegree(r) {
+			t.Fatalf("%s: effective %d ≠ global %d", r, sub.RouterDegree(r)+off, g.RouterDegree(r))
+		}
+	}
+}

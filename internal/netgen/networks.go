@@ -42,9 +42,15 @@ func SmallCatalog() []Spec {
 	return []Spec{all[0], all[1], all[2], all[6]}
 }
 
-// ByID returns the catalog entry with the given ID.
+// ByID returns the catalog entry with the given ID or name, searching the
+// Table 2 catalog and then the scale catalog.
 func ByID(id string) (Spec, error) {
 	for _, s := range Catalog() {
+		if s.ID == id || s.Name == id {
+			return s, nil
+		}
+	}
+	for _, s := range ScaleCatalog() {
 		if s.ID == id || s.Name == id {
 			return s, nil
 		}

@@ -1,0 +1,125 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"confmask/internal/config"
+)
+
+// This file holds the scale-evaluation generators: networks an order of
+// magnitude beyond the paper's Table 2, used by the thousand-router-scale
+// benchmark (`confmask-bench -only scale`) and the partition-parallel
+// anonymization tests. They are deliberately not part of Catalog() —
+// every existing experiment and pinned test keeps its exact network set —
+// but ByID resolves them, so the daemon and CLI can submit them directly.
+
+// ScaleCatalog returns the scale-evaluation networks, smallest first.
+func ScaleCatalog() []Spec {
+	return []Spec{
+		{ID: "S1", Name: "FatTree16", Type: "OSPF", Build: FatTree16},
+		{ID: "S2", Name: "MultiRegion10x30", Type: "OSPF", Build: MultiRegion10x30},
+		{ID: "S3", Name: "FatTree32", Type: "OSPF", Build: FatTree32},
+		{ID: "S4", Name: "MultiRegion32x32", Type: "OSPF", Build: MultiRegion32x32},
+	}
+}
+
+// FatTree16 is a 16-pod fat-tree with 16 core routers: 272 routers
+// (16 core + 128 aggregation + 128 edge), 256 hosts, 2304 links.
+func FatTree16() (*config.Network, error) { return fatTree(16, 16) }
+
+// FatTree32 is a 32-pod fat-tree with 32 core routers: 1056 routers
+// (32 core + 512 aggregation + 512 edge), 1024 hosts, 17408 links — the
+// thousand-router point of the scale trajectory.
+func FatTree32() (*config.Network, error) { return fatTree(32, 32) }
+
+// MultiRegion10x30 is a 10-region carrier-style network of 300 routers
+// and 100 hosts; see multiRegion.
+func MultiRegion10x30() (*config.Network, error) { return multiRegion(10, 30, 10, 0x4E57) }
+
+// MultiRegion32x32 is a 32-region network of 1024 routers and 128 hosts.
+func MultiRegion32x32() (*config.Network, error) { return multiRegion(32, 32, 4, 0x7A11) }
+
+// multiRegion deterministically generates an OSPF network shaped like a
+// multi-region Topology-Zoo carrier: `regions` regions of `perRegion`
+// routers each. Router 0 of a region is its gateway POP: it connects to
+// every third interior router of its own region and carries all
+// inter-region traffic over a backbone ring (plus a few seeded backbone
+// chords) between gateways. Interior routers form a ring with seeded
+// chords, like zooNet. Hosts spread round-robin across each region's
+// interior routers.
+//
+// The shape is what the partition-parallel anonymizer is built for:
+// gateways are the only high-degree routers, and removing them leaves one
+// connected component per region with no cross-region edges.
+func multiRegion(regions, perRegion, hostsPerRegion int, seed int64) (*config.Network, error) {
+	if regions < 2 || perRegion < 6 {
+		return nil, fmt.Errorf("netgen: multiRegion needs ≥ 2 regions of ≥ 6 routers, got %d×%d", regions, perRegion)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(OSPF)
+	name := func(r, i int) string { return fmt.Sprintf("mr%02d-%03d", r, i) }
+	for r := 0; r < regions; r++ {
+		for i := 0; i < perRegion; i++ {
+			b.Router(name(r, i))
+		}
+	}
+	costs := []int{0, 0, 1, 5, 20}
+	used := make(map[[2]string]bool)
+	link := func(a, c string) bool {
+		k := [2]string{a, c}
+		if a > c {
+			k = [2]string{c, a}
+		}
+		if used[k] {
+			return false
+		}
+		used[k] = true
+		w := costs[rng.Intn(len(costs))]
+		b.LinkCost(a, c, w, w)
+		return true
+	}
+	for r := 0; r < regions; r++ {
+		gw := name(r, 0)
+		// Interior ring over routers 1..perRegion-1.
+		for i := 1; i < perRegion; i++ {
+			j := i + 1
+			if j == perRegion {
+				j = 1
+			}
+			link(name(r, i), name(r, j))
+		}
+		// Gateway uplinks: every third interior router homes to the POP.
+		for i := 1; i < perRegion; i += 3 {
+			link(gw, name(r, i))
+		}
+		// A few seeded interior chords for degree diversity.
+		interior := perRegion - 1
+		for c := 0; c < interior/6; {
+			i := 1 + rng.Intn(interior)
+			step := 2 + rng.Intn(interior-3)
+			j := 1 + (i-1+step)%interior
+			if link(name(r, i), name(r, j)) {
+				c++
+			}
+		}
+	}
+	// Backbone ring over gateways, plus seeded chords between non-adjacent
+	// gateways.
+	for r := 0; r < regions; r++ {
+		link(name(r, 0), name((r+1)%regions, 0))
+	}
+	for c := 0; c < regions/3; {
+		r1 := rng.Intn(regions)
+		r2 := (r1 + 2 + rng.Intn(regions-3)) % regions
+		if link(name(r1, 0), name(r2, 0)) {
+			c++
+		}
+	}
+	for r := 0; r < regions; r++ {
+		for h := 0; h < hostsPerRegion; h++ {
+			b.Host(fmt.Sprintf("mh%02d-%03d", r, h), name(r, 1+h%(perRegion-1)))
+		}
+	}
+	return b.Build()
+}

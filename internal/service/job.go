@@ -135,6 +135,10 @@ type Event struct {
 	// without diffing event timestamps.
 	PrevStage   string `json:"prev_stage,omitempty"`
 	PrevStageMS int64  `json:"prev_stage_ms,omitempty"`
+	// PrevStageAllocBytes is the heap allocated while PrevStage ran
+	// (process-wide TotalAlloc delta; concurrent jobs share the counter,
+	// so treat it as attribution only on an otherwise idle daemon).
+	PrevStageAllocBytes uint64 `json:"prev_stage_alloc_bytes,omitempty"`
 	// Message annotates non-progress events ("queued", "cancel
 	// requested", ...).
 	Message string `json:"message,omitempty"`
@@ -437,7 +441,7 @@ func (j *job) isDraining() bool {
 // setProgress records a pipeline stage transition as an event; prevStage
 // and prevDur describe the stage the transition closed (prevStage "" when
 // none, e.g. the first stage or an iteration within one stage).
-func (j *job) setProgress(stage string, iteration int, prevStage string, prevDur time.Duration) {
+func (j *job) setProgress(stage string, iteration int, prevStage string, prevDur time.Duration, prevAlloc uint64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
@@ -447,6 +451,7 @@ func (j *job) setProgress(stage string, iteration int, prevStage string, prevDur
 	e := Event{State: j.state, Stage: stage, Iteration: iteration}
 	if prevStage != "" {
 		e.PrevStage, e.PrevStageMS = prevStage, prevDur.Milliseconds()
+		e.PrevStageAllocBytes = prevAlloc
 	}
 	j.appendEventLocked(e)
 }
@@ -472,7 +477,7 @@ func (j *job) start(cancel func(), now time.Time) bool {
 
 // finish records the terminal state once the pipeline returned; prevStage
 // and prevDur close the last open pipeline stage ("" when none ran).
-func (j *job) finish(state State, result map[string]string, report *confmask.Report, errMsg string, now time.Time, prevStage string, prevDur time.Duration) {
+func (j *job) finish(state State, result map[string]string, report *confmask.Report, errMsg string, now time.Time, prevStage string, prevDur time.Duration, prevAlloc uint64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = state
@@ -485,6 +490,7 @@ func (j *job) finish(state State, result map[string]string, report *confmask.Rep
 	e := Event{State: state, Time: now}
 	if prevStage != "" {
 		e.PrevStage, e.PrevStageMS = prevStage, prevDur.Milliseconds()
+		e.PrevStageAllocBytes = prevAlloc
 	}
 	switch state {
 	case StateDone:

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"expvar"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -130,35 +131,53 @@ func (m *metrics) snapshot() map[string]any {
 		"stages_reused_total":         m.StagesReused.Value(),
 		"incremental_fallbacks_total": m.IncrementalFallbacks.Value(),
 		"stage_seconds":               stages,
+		// Live-heap gauge, read at render time: the number an operator
+		// watches while a thousand-router job runs. Cumulative per-stage
+		// allocation rides on job events (prev_stage_alloc_bytes).
+		"heap_inuse_bytes": heapInuse(),
 	}
 }
 
+// heapInuse reads the live-heap gauge from the runtime.
+func heapInuse() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
 // stageTimer turns the pipeline's progress callbacks into per-stage
-// duration samples: each transition closes the previous stage's clock.
-// One timer lives per job run, called only from that job's worker
-// goroutine.
+// duration and allocation samples: each transition closes the previous
+// stage's clock and allocation window. One timer lives per job run, called
+// only from that job's worker goroutine. The allocation delta is
+// process-wide TotalAlloc, so concurrent jobs bleed into each other's
+// numbers — the event field documents this; exact per-stage attribution
+// comes from the pipeline's own Report.StageAlloc.
 type stageTimer struct {
 	m     *metrics
 	stage string
 	start time.Time
+	alloc uint64
 }
 
-// transition switches the open stage clock, returning the stage it closed
-// and its wall-clock duration ("" when no stage ended) so callers can put
-// the sample on the job's event log as well.
-func (t *stageTimer) transition(stage string, now time.Time) (closed string, d time.Duration) {
+// transition switches the open stage clock, returning the stage it closed,
+// its wall-clock duration, and the bytes allocated while it was open (""
+// when no stage ended) so callers can put the sample on the job's event
+// log as well.
+func (t *stageTimer) transition(stage string, now time.Time) (closed string, d time.Duration, alloc uint64) {
 	if t.stage == stage {
-		return "", 0 // equivalence iterations stay within one stage clock
+		return "", 0, 0 // equivalence iterations stay within one stage clock
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	if t.stage != "" {
-		closed, d = t.stage, now.Sub(t.start)
+		closed, d, alloc = t.stage, now.Sub(t.start), ms.TotalAlloc-t.alloc
 		t.m.observeStage(closed, d)
 	}
-	t.stage, t.start = stage, now
-	return closed, d
+	t.stage, t.start, t.alloc = stage, now, ms.TotalAlloc
+	return closed, d, alloc
 }
 
 // finish closes the clock of the last open stage.
-func (t *stageTimer) finish(now time.Time) (closed string, d time.Duration) {
+func (t *stageTimer) finish(now time.Time) (closed string, d time.Duration, alloc uint64) {
 	return t.transition("", now)
 }

@@ -213,7 +213,7 @@ func (s *Server) replayJournal() ([]*job, error) {
 			if j.restarts >= s.cfg.MaxRestarts {
 				j.finish(StateFailed, nil, nil, fmt.Sprintf(
 					"job ran in %d daemon starts without completing (max %d); giving up",
-					j.restarts, s.cfg.MaxRestarts), time.Now(), "", 0)
+					j.restarts, s.cfg.MaxRestarts), time.Now(), "", 0, 0)
 				s.store.put(j, false)
 				s.metrics.JobsFailed.Add(1)
 				continue
@@ -280,11 +280,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.metrics.QueueDepth.Add(-1)
 			if s.journal != nil {
 				j.noteDraining()
-				j.finish(StateRequeued, nil, nil, "", time.Now(), "", 0)
+				j.finish(StateRequeued, nil, nil, "", time.Now(), "", 0, 0)
 				s.metrics.JobsRequeued.Add(1)
 			} else {
 				j.requestCancel()
-				j.finish(StateCancelled, nil, nil, "server shutting down", time.Now(), "", 0)
+				j.finish(StateCancelled, nil, nil, "server shutting down", time.Now(), "", 0, 0)
 				s.store.unindexHash(j)
 				s.metrics.JobsCancelled.Add(1)
 			}
@@ -406,8 +406,8 @@ func (s *Server) run(j *job) {
 	}
 	opts.Progress = func(stage string, iteration int) {
 		now := time.Now()
-		closed, d := timer.transition(stage, now)
-		j.setProgress(stage, iteration, closed, d)
+		closed, d, alloc := timer.transition(stage, now)
+		j.setProgress(stage, iteration, closed, d, alloc)
 		// Stage-level fault points fire on the pipeline goroutine, inside
 		// the worker's recover boundary: a ModePanic here must fail only
 		// this job.
@@ -442,7 +442,7 @@ func (s *Server) run(j *job) {
 	}
 	result, report, err := s.execute(ctx, j.req.Configs, opts)
 	now := time.Now()
-	closed, d := timer.finish(now)
+	closed, d, alloc := timer.finish(now)
 	if err == nil {
 		if jerr := j.journalErr(); jerr != nil {
 			err = &journalFailure{err: jerr}
@@ -459,22 +459,22 @@ func (s *Server) run(j *job) {
 	case err == nil:
 		// The final checkpoint is deliberately kept, in memory and on
 		// disk: it is what incremental resubmissions seed from.
-		j.finish(StateDone, result, report, "", now, closed, d)
+		j.finish(StateDone, result, report, "", now, closed, d, alloc)
 		s.metrics.JobsDone.Add(1)
 	case errors.As(err, &pe):
 		s.metrics.JobsPanicked.Add(1)
-		j.finish(StateFailed, nil, nil, pe.Error()+"\n"+pe.stack, now, closed, d)
+		j.finish(StateFailed, nil, nil, pe.Error()+"\n"+pe.stack, now, closed, d, alloc)
 		s.store.unindexHash(j)
 		s.metrics.JobsFailed.Add(1)
 	case errors.As(err, &jf):
 		s.metrics.JournalErrors.Add(1)
-		j.finish(StateFailed, nil, nil, jf.Error(), now, closed, d)
+		j.finish(StateFailed, nil, nil, jf.Error(), now, closed, d, alloc)
 		s.store.unindexHash(j)
 		s.metrics.JobsFailed.Add(1)
 	case errors.Is(err, context.Canceled):
 		switch {
 		case s.journal != nil && j.isDraining():
-			j.finish(StateRequeued, nil, nil, "", now, closed, d)
+			j.finish(StateRequeued, nil, nil, "", now, closed, d, alloc)
 			s.metrics.JobsRequeued.Add(1)
 		case cause != nil && !errors.Is(cause, context.Canceled):
 			// Watchdog, journal, or injected fault: the cause carries the
@@ -482,20 +482,20 @@ func (s *Server) run(j *job) {
 			if errors.As(cause, &jf) {
 				s.metrics.JournalErrors.Add(1)
 			}
-			j.finish(StateFailed, nil, nil, cause.Error(), now, closed, d)
+			j.finish(StateFailed, nil, nil, cause.Error(), now, closed, d, alloc)
 			s.store.unindexHash(j)
 			s.metrics.JobsFailed.Add(1)
 		default:
-			j.finish(StateCancelled, nil, nil, "cancelled", now, closed, d)
+			j.finish(StateCancelled, nil, nil, "cancelled", now, closed, d, alloc)
 			s.store.unindexHash(j)
 			s.metrics.JobsCancelled.Add(1)
 		}
 	case errors.Is(err, context.DeadlineExceeded):
-		j.finish(StateFailed, nil, nil, fmt.Sprintf("job exceeded timeout %v", s.cfg.JobTimeout), now, closed, d)
+		j.finish(StateFailed, nil, nil, fmt.Sprintf("job exceeded timeout %v", s.cfg.JobTimeout), now, closed, d, alloc)
 		s.store.unindexHash(j)
 		s.metrics.JobsFailed.Add(1)
 	default:
-		j.finish(StateFailed, nil, nil, err.Error(), now, closed, d)
+		j.finish(StateFailed, nil, nil, err.Error(), now, closed, d, alloc)
 		s.store.unindexHash(j)
 		s.metrics.JobsFailed.Add(1)
 	}

@@ -176,6 +176,24 @@ func TestSubmitPollResultRoundTrip(t *testing.T) {
 	if _, ok := stages["equivalence"]; !ok {
 		t.Fatalf("no equivalence stage histogram: %v", stages)
 	}
+	if n := m["heap_inuse_bytes"].(float64); n <= 0 {
+		t.Fatalf("heap_inuse_bytes = %v, want > 0", n)
+	}
+
+	// Per-stage memory attribution: the report carries exact TotalAlloc
+	// deltas, and stage-transition events carry the process-wide delta of
+	// the stage they close.
+	if res.Report == nil || len(res.Report.StageAlloc) == 0 {
+		t.Fatalf("report missing StageAlloc: %+v", res.Report)
+	}
+	if res.Report.StageAlloc["equivalence"] == 0 {
+		t.Fatalf("StageAlloc has no equivalence bytes: %v", res.Report.StageAlloc)
+	}
+	if !hasEvent(jobEvents(t, ts, st.ID), func(e Event) bool {
+		return e.PrevStageAllocBytes > 0
+	}) {
+		t.Fatal("no event carries prev_stage_alloc_bytes")
+	}
 }
 
 func TestEventsStream(t *testing.T) {

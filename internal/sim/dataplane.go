@@ -4,7 +4,6 @@ import (
 	"net/netip"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 )
 
@@ -206,35 +205,76 @@ func (e *destEngine) appendSuffix(dst []string, node, ei int32) []string {
 	return dst
 }
 
-// viewOf materializes a node's canonical (sorted) path list and joined
-// fingerprint from its memo.
-func (e *destEngine) viewOf(i int32) ([]Path, string) {
+// viewOf materializes a node's canonical (sorted) path list and 128-bit
+// fingerprint from its memo. The canonical key bytes are streamed through
+// the engine's reusable scratch buffer and hashed — never retained as a
+// string. Callers hold mu.
+func (e *destEngine) viewOf(i int32) ([]Path, Digest) {
 	m := e.nodes[i].memo
 	ps := make([]Path, len(m.order))
-	var sb strings.Builder
+	buf := e.scratch[:0]
 	for k, j := range m.order {
 		hops := e.materialize(i, j)
 		ps[k] = Path{Hops: hops, Status: m.status[j]}
 		if k > 0 {
-			sb.WriteByte('\n')
+			buf = append(buf, '\n')
 		}
-		sb.WriteString(m.status[j].String())
-		sb.WriteByte(':')
+		buf = append(buf, m.status[j].String()...)
+		buf = append(buf, ':')
 		for h, name := range hops {
 			if h > 0 {
-				sb.WriteByte('>')
+				buf = append(buf, '>')
 			}
-			sb.WriteString(name)
+			buf = append(buf, name...)
 		}
 	}
-	return ps, sb.String()
+	e.scratch = buf[:0]
+	return ps, digestOfBytes(buf)
+}
+
+// digestFor returns only the fingerprint of the canonical path set from
+// src, streaming the key bytes out of the suffix memos without
+// materializing a single hop list. scratch is a caller-owned reusable
+// buffer, returned (possibly grown) for the next call. Unlike pathsFor
+// the result is not cached in bySrc — digest-only extraction queries each
+// source exactly once per destination.
+func (e *destEngine) digestFor(src string, scratch []byte) (Digest, []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.bySrc[src]; ok {
+		return r.fp, scratch
+	}
+	if !e.built {
+		e.build()
+	}
+	i := e.indexOf(src)
+	if n := &e.nodes[i]; n.loopy || n.maxLen > maxTraceDepth {
+		// Loop/deep fallback: the walk must enumerate paths anyway, so go
+		// through the caching path.
+		_, fp := e.pathsForLocked(src)
+		return fp, scratch
+	}
+	m := e.memoOf(i)
+	buf := scratch[:0]
+	for k, j := range m.order {
+		if k > 0 {
+			buf = append(buf, '\n')
+		}
+		buf = append(buf, m.status[j].String()...)
+		buf = append(buf, ':')
+		it := joinIter{e: e, node: i, ei: j}
+		for chunk, ok := it.next(); ok; chunk, ok = it.next() {
+			buf = append(buf, chunk...)
+		}
+	}
+	return digestOfBytes(buf), buf[:0]
 }
 
 // srcResult is a finished per-source trace: canonically sorted paths plus
-// the joined fingerprint EqualOver-style comparisons use.
+// the fingerprint EqualOver-style comparisons use.
 type srcResult struct {
 	paths []Path
-	fp    string
+	fp    Digest
 }
 
 // destEngine holds one destination's successor graph, per-node suffix
@@ -259,6 +299,9 @@ type destEngine struct {
 	extra  map[string]int32
 	nodes  []destNode
 	bySrc  map[string]srcResult
+	// scratch is the reusable canonical-key byte buffer viewOf hashes
+	// through; guarded by mu like the rest of the lazy state.
+	scratch []byte
 	// failRes caches finished what-if traces per (failure, src); see
 	// whatif.go.
 	failRes map[string]srcResult
@@ -318,6 +361,20 @@ func (s *Snapshot) engineFor(dst string) *destEngine {
 	return e
 }
 
+// transientEngineFor builds an engine for dst without registering it in
+// the Snapshot's cache: digest-only extraction (PairDigestsFor) creates
+// one engine per destination and drops it as soon as that destination's
+// column is hashed, so the successor graph and suffix-memo storage are
+// reclaimed instead of accumulating one retained engine per host. Returns
+// nil when dst is not a known host, like engineFor.
+func (s *Snapshot) transientEngineFor(dst string) *destEngine {
+	pfx, known := s.Net.HostPrefix[dst]
+	if !known {
+		return nil
+	}
+	return &destEngine{snap: s, dst: dst, dstPfx: pfx, dstAddr: hostAddr(s.Net, dst)}
+}
+
 // traceWorkers resolves the worker-pool size for destination-sharded
 // extraction: the Parallelism the Snapshot was simulated with, or
 // GOMAXPROCS for Snapshots assembled without options.
@@ -337,14 +394,14 @@ func (s *Snapshot) traceWorkers() int {
 // passes through src, which is what makes extraction cheaper than
 // per-pair walking. The loop/deep fallback runs the hybrid recursive walk
 // instead.
-func (e *destEngine) pathsFor(src string) ([]Path, string) {
+func (e *destEngine) pathsFor(src string) ([]Path, Digest) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.pathsForLocked(src)
 }
 
 // pathsForLocked is pathsFor for callers already holding mu.
-func (e *destEngine) pathsForLocked(src string) ([]Path, string) {
+func (e *destEngine) pathsForLocked(src string) ([]Path, Digest) {
 	if r, ok := e.bySrc[src]; ok {
 		return r.paths, r.fp
 	}
@@ -352,7 +409,7 @@ func (e *destEngine) pathsForLocked(src string) ([]Path, string) {
 		e.build()
 	}
 	var ps []Path
-	var fp string
+	var fp Digest
 	i := e.indexOf(src)
 	if n := &e.nodes[i]; !n.loopy && n.maxLen <= maxTraceDepth {
 		e.memoOf(i)
@@ -662,24 +719,31 @@ func (e *destEngine) trace(start int32) []Path {
 
 // sortPathsByKey orders paths canonically, deriving each Key exactly once
 // (the recursive walker recomputed both keys inside the comparator), and
-// returns the joined canonical fingerprint alongside. The input slice is
-// not reordered — memoized slices are shared across sources.
-func sortPathsByKey(ps []Path) ([]Path, string) {
+// returns the 128-bit canonical fingerprint alongside. The sorted keys
+// are hashed through one exactly-sized transient buffer instead of being
+// joined into a retained string. The input slice is not reordered —
+// memoized slices are shared across sources.
+func sortPathsByKey(ps []Path) ([]Path, Digest) {
 	if len(ps) == 0 {
-		return ps, ""
+		return ps, Digest{}
 	}
 	keys := make([]string, len(ps))
 	idx := make([]int, len(ps))
+	size := len(ps) - 1
 	for i, p := range ps {
 		keys[i] = p.Key()
 		idx[i] = i
+		size += len(keys[i])
 	}
 	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
 	sorted := make([]Path, len(ps))
-	sortedKeys := make([]string, len(ps))
+	buf := make([]byte, 0, size)
 	for i, j := range idx {
 		sorted[i] = ps[j]
-		sortedKeys[i] = keys[j]
+		if i > 0 {
+			buf = append(buf, '\n')
+		}
+		buf = append(buf, keys[j]...)
 	}
-	return sorted, strings.Join(sortedKeys, "\n")
+	return sorted, digestOfBytes(buf)
 }

@@ -63,8 +63,8 @@ func assertDataPlaneMatchesNaive(t *testing.T, s *Snapshot, hosts []string, dp *
 		if !samePaths(got, wantPaths) {
 			t.Fatalf("pair %v: engine paths differ from naive walker\n got: %v\nwant: %v", k, got, wantPaths)
 		}
-		if fp := dp.pairKey(k); fp != pathSetKey(wantPaths) {
-			t.Fatalf("pair %v: fingerprint %q != pathSetKey %q", k, fp, pathSetKey(wantPaths))
+		if fp := dp.pairDigest(k); fp != digestOfKey(pathSetKey(wantPaths)) {
+			t.Fatalf("pair %v: fingerprint %x != digest of pathSetKey %q", k, fp, pathSetKey(wantPaths))
 		}
 	}
 }

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"sort"
+)
+
+// This file is the memory-bounded fingerprint layer of the data-plane
+// engine. A pair's canonical path-set key — the sorted "<status>:<hops>"
+// lines joined with "\n" — used to be materialized as one string per
+// ordered host pair and retained for the lifetime of the DataPlane, which
+// is O(H²) joined strings whose lengths grow with path count and depth.
+// Fingerprints are now a fixed-size 128-bit digest of exactly that byte
+// sequence: equality of digests stands in for equality of canonical keys
+// everywhere only equality is needed (EqualOver, DiffPairs,
+// ExactlyKeptFraction), while diff and repair still work over the exact
+// materialized paths.
+//
+// The digest is the first 128 bits of SHA-256 over the canonical key
+// bytes. Two distinct path sets collide with probability ~2⁻¹²⁸ per pair
+// (~2⁻⁶⁴ birthday bound across any realistic number of compared pairs) —
+// far below the failure rates of the hardware the pipeline runs on; see
+// DESIGN.md §12 for the soundness argument.
+
+// Digest is a 128-bit fingerprint of a pair's canonical path-set key. The
+// zero value is reserved for the empty path set (no trace data), matching
+// the empty canonical key.
+type Digest [16]byte
+
+// digestOfKey fingerprints an already-materialized canonical key string.
+// It is the fallback for hand-assembled DataPlanes; the engine paths
+// stream the same bytes without building the string.
+func digestOfKey(key string) Digest {
+	if len(key) == 0 {
+		return Digest{}
+	}
+	sum := sha256.Sum256([]byte(key))
+	var d Digest
+	copy(d[:], sum[:16])
+	return d
+}
+
+// digestOfBytes fingerprints canonical key content accumulated in a
+// reusable scratch buffer.
+func digestOfBytes(b []byte) Digest {
+	if len(b) == 0 {
+		return Digest{}
+	}
+	sum := sha256.Sum256(b)
+	var d Digest
+	copy(d[:], sum[:16])
+	return d
+}
+
+// PairDigests is a fingerprint-only data plane: one Digest per ordered
+// host pair, stored in a flat dense array (16 bytes per pair, no per-pair
+// path or string storage). It answers the same equality questions as a
+// full DataPlane at a peak heap cost that scales with topology size
+// rather than with H² path data; callers that need the actual hop
+// sequences (diff explanation, repair) materialize them separately.
+type PairDigests struct {
+	hosts []string
+	index map[string]int
+	// fps[j*len(hosts)+i] is the digest for Pair{Src: hosts[i], Dst:
+	// hosts[j]}; diagonal slots stay zero.
+	fps []Digest
+}
+
+// Hosts returns the host list the digests cover (shared; read-only).
+func (pd *PairDigests) Hosts() []string { return pd.hosts }
+
+// Digest returns the fingerprint for an ordered pair; ok is false when
+// either host is outside the covered set.
+func (pd *PairDigests) Digest(src, dst string) (Digest, bool) {
+	i, oki := pd.index[src]
+	j, okj := pd.index[dst]
+	if !oki || !okj {
+		return Digest{}, false
+	}
+	return pd.fps[j*len(pd.hosts)+i], true
+}
+
+// Equal reports whether two digest planes agree on every ordered pair of
+// a's hosts — the digest analogue of EqualOver.
+func (pd *PairDigests) Equal(other *PairDigests) bool {
+	return len(pd.DiffPairs(other)) == 0
+}
+
+// DiffPairs returns the ordered pairs (drawn from pd's hosts) whose
+// digests differ, in sorted order — the digest analogue of DiffPairs over
+// full DataPlanes.
+func (pd *PairDigests) DiffPairs(other *PairDigests) []Pair {
+	var out []Pair
+	for j, dst := range pd.hosts {
+		for i, src := range pd.hosts {
+			if i == j {
+				continue
+			}
+			a := pd.fps[j*len(pd.hosts)+i]
+			b, ok := other.Digest(src, dst)
+			if !ok || a != b {
+				out = append(out, Pair{Src: src, Dst: dst})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// PairDigestsFor computes the fingerprint of every ordered pair drawn
+// from hosts without materializing any path: per destination it builds a
+// transient successor-graph engine, streams each source's canonical key
+// bytes out of the structural suffix memos, and releases the engine
+// before moving on. Peak heap is bounded by the worker count times one
+// destination's memo storage (which scales with topology size) plus the
+// flat 16-byte-per-pair result — never by H² materialized paths. The
+// digests are identical to the ones a full DataPlaneFor extraction
+// computes for the same Snapshot.
+func (s *Snapshot) PairDigestsFor(hosts []string) *PairDigests {
+	pd := &PairDigests{
+		hosts: hosts,
+		index: make(map[string]int, len(hosts)),
+		fps:   make([]Digest, len(hosts)*len(hosts)),
+	}
+	for i, h := range hosts {
+		pd.index[h] = i
+	}
+	forEachIndex(s.traceWorkers(), len(hosts), func(j int) {
+		dst := hosts[j]
+		e := s.transientEngineFor(dst)
+		if e == nil {
+			return // unknown destination: zero digests, like Trace's nil
+		}
+		var scratch []byte
+		row := pd.fps[j*len(hosts) : (j+1)*len(hosts)]
+		for i, src := range hosts {
+			if src == dst {
+				continue
+			}
+			row[i], scratch = e.digestFor(src, scratch)
+		}
+	})
+	return pd
+}
+
+// Digests derives the fingerprint-only view of an already-extracted
+// DataPlane, reusing its precomputed per-pair digests.
+func (dp *DataPlane) Digests(hosts []string) *PairDigests {
+	pd := &PairDigests{
+		hosts: hosts,
+		index: make(map[string]int, len(hosts)),
+		fps:   make([]Digest, len(hosts)*len(hosts)),
+	}
+	for i, h := range hosts {
+		pd.index[h] = i
+	}
+	for j, dst := range hosts {
+		for i, src := range hosts {
+			if i == j {
+				continue
+			}
+			pd.fps[j*len(hosts)+i] = dp.pairDigest(Pair{Src: src, Dst: dst})
+		}
+	}
+	return pd
+}

@@ -26,6 +26,17 @@ func (o Options) workers() int {
 	return o.Parallelism
 }
 
+// Workers is the exported view of the resolved pool size, for callers
+// (the anonymization pipeline) that fan out their own per-router work at
+// the same parallelism the engine uses.
+func (o Options) Workers() int { return o.workers() }
+
+// ForEachIndex runs fn(i) for every i in [0, n), fanning out across at
+// most workers goroutines. Callers keep determinism by writing results
+// only into slot i of a preallocated slice and merging after the join; fn
+// must not touch mutable state shared between indices.
+func ForEachIndex(workers, n int, fn func(i int)) { forEachIndex(workers, n, fn) }
+
 // forEachIndex runs fn(i) for every i in [0, n), fanning out across at most
 // workers goroutines. Callers keep determinism by writing results only into
 // slot i of a preallocated slice and merging after the join; fn must not

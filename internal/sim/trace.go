@@ -165,22 +165,24 @@ type Pair struct{ Src, Dst string }
 // per-destination caches: treat them as read-only.
 type DataPlane struct {
 	Pairs map[Pair][]Path
-	// fps holds each pair's canonical path-set fingerprint (the sorted
-	// path keys joined with "\n" — exactly pathSetKey of the pair's
-	// paths), precomputed at extraction so EqualOver/DiffPairs/
-	// ExactlyKeptFraction compare strings instead of re-sorting. Nil for
-	// hand-assembled DataPlanes, which fall back to pathSetKey.
-	fps map[Pair]string
+	// fps holds each pair's canonical path-set fingerprint — the 128-bit
+	// digest of the sorted path keys joined with "\n" (exactly pathSetKey
+	// of the pair's paths) — precomputed at extraction so EqualOver/
+	// DiffPairs/ExactlyKeptFraction compare 16-byte values instead of
+	// re-sorting, and so the DataPlane retains no per-pair key strings.
+	// Nil for hand-assembled DataPlanes, which fall back to hashing
+	// pathSetKey.
+	fps map[Pair]Digest
 }
 
-// pairKey returns the pair's canonical path-set fingerprint.
-func (dp *DataPlane) pairKey(k Pair) string {
+// pairDigest returns the pair's canonical path-set fingerprint.
+func (dp *DataPlane) pairDigest(k Pair) Digest {
 	if dp.fps != nil {
 		if fp, ok := dp.fps[k]; ok {
 			return fp
 		}
 	}
-	return pathSetKey(dp.Pairs[k])
+	return digestOfKey(pathSetKey(dp.Pairs[k]))
 }
 
 // ExtractDataPlane traces every ordered pair of hosts in the network.
@@ -214,14 +216,14 @@ func (s *Snapshot) DataPlaneForDirty(hosts []string, prev *DataPlane, diff *Filt
 // stays nil).
 type dpColumn struct {
 	paths [][]Path
-	fps   []string
+	fps   []Digest
 }
 
 func (s *Snapshot) dataPlaneFor(hosts []string, prev *DataPlane, diff *FilterDiff) *DataPlane {
 	cols := make([]dpColumn, len(hosts))
 	forEachIndex(s.traceWorkers(), len(hosts), func(j int) {
 		dst := hosts[j]
-		col := dpColumn{paths: make([][]Path, len(hosts)), fps: make([]string, len(hosts))}
+		col := dpColumn{paths: make([][]Path, len(hosts)), fps: make([]Digest, len(hosts))}
 		reuse := prev != nil && !diff.Affects(s.Net.HostPrefix[dst])
 		var e *destEngine
 		for i, src := range hosts {
@@ -232,7 +234,7 @@ func (s *Snapshot) dataPlaneFor(hosts []string, prev *DataPlane, diff *FilterDif
 			if reuse {
 				if ps, ok := prev.Pairs[k]; ok {
 					col.paths[i] = ps
-					col.fps[i] = prev.pairKey(k)
+					col.fps[i] = prev.pairDigest(k)
 					continue
 				}
 			}
@@ -248,7 +250,7 @@ func (s *Snapshot) dataPlaneFor(hosts []string, prev *DataPlane, diff *FilterDif
 		cols[j] = col
 	})
 	n := len(hosts) * (len(hosts) - 1)
-	dp := &DataPlane{Pairs: make(map[Pair][]Path, n), fps: make(map[Pair]string, n)}
+	dp := &DataPlane{Pairs: make(map[Pair][]Path, n), fps: make(map[Pair]Digest, n)}
 	for j, dst := range hosts {
 		for i, src := range hosts {
 			if src == dst {
@@ -288,7 +290,7 @@ func DiffPairs(a, b *DataPlane, hosts []string) []Pair {
 				continue
 			}
 			k := Pair{Src: src, Dst: dst}
-			if a.pairKey(k) != b.pairKey(k) {
+			if a.pairDigest(k) != b.pairDigest(k) {
 				out = append(out, k)
 			}
 		}
@@ -315,7 +317,7 @@ func ExactlyKeptFraction(orig, anon *DataPlane, hosts []string) float64 {
 			}
 			total++
 			k := Pair{Src: src, Dst: dst}
-			if orig.pairKey(k) == anon.pairKey(k) {
+			if orig.pairDigest(k) == anon.pairDigest(k) {
 				kept++
 			}
 		}

@@ -116,7 +116,7 @@ func (s *Snapshot) WhatIfStats() (retraced, reused int64) {
 // pathsUnderFailure is pathsFor under a failure: reuse the no-failure
 // result when the failure is unreachable from src in the successor graph,
 // otherwise run the pruned walk. Results are cached per (failure, src).
-func (e *destEngine) pathsUnderFailure(src string, f Failure) ([]Path, string) {
+func (e *destEngine) pathsUnderFailure(src string, f Failure) ([]Path, Digest) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	key := f.cacheKey() + "\x00" + src
@@ -128,7 +128,7 @@ func (e *destEngine) pathsUnderFailure(src string, f Failure) ([]Path, string) {
 	}
 	i := e.indexOf(src)
 	var ps []Path
-	var fp string
+	var fp Digest
 	if !e.failureReaches(i, f) {
 		ps, fp = e.pathsForLocked(src)
 		e.snap.whatIfReused.Add(1)
