@@ -254,7 +254,11 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 		opts.progress("preprocess", 0)
 		t0 = time.Now()
 		a0 := totalAlloc()
-		base, err = newBaseline(cfg, opts.simOpts())
+		var digestSeed map[string][]byte
+		if opts.Resume != nil {
+			digestSeed = baselineDigestSeed(opts.Resume, cfg.Hosts())
+		}
+		base, err = newBaseline(cfg, opts.simOpts(), digestSeed)
 		if err != nil {
 			return nil, nil, fmt.Errorf("anonymize: preprocessing: %w", err)
 		}
@@ -286,7 +290,7 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 		rep.FakeEdges = fake
 		rep.Timing.Topology = time.Since(t0)
 		rep.Alloc.Topology = totalAlloc() - a0
-		opts.emitCheckpoint("topology", out, src, rep)
+		opts.emitCheckpoint("topology", out, src, rep, base)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -315,7 +319,7 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 		}
 		rep.Timing.RouteEquiv = time.Since(t0)
 		rep.Alloc.RouteEquiv = totalAlloc() - a0
-		opts.emitCheckpoint("equivalence", out, src, rep)
+		opts.emitCheckpoint("equivalence", out, src, rep, base)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -338,7 +342,7 @@ func RunContext(ctx context.Context, cfg *config.Network, opts Options) (*config
 			rep.AnonFilters = filters
 			rep.Timing.RouteAnon = time.Since(t0)
 			rep.Alloc.RouteAnon = totalAlloc() - a0
-			opts.emitCheckpoint("anonymity", out, src, rep)
+			opts.emitCheckpoint("anonymity", out, src, rep, base)
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -361,8 +365,18 @@ type baseline struct {
 	topo *topology.Graph
 	// dpDig is the original data plane as per-pair 128-bit digests — all
 	// the ConfMask pipeline needs for its equivalence checks, at 16 bytes
-	// per ordered pair instead of materialized path sets.
-	dpDig *sim.PairDigests
+	// per ordered pair instead of materialized path sets. It is built
+	// lazily (dpDigOnce): route anonymity never reads it, so a resume
+	// that skips the equivalence stage skips the extraction entirely.
+	// dpCols, when non-nil, seeds the extraction with per-destination
+	// columns recovered from a checkpoint (sim.PairDigestsForSeeded), so
+	// a resumed run re-derives only destinations the seed doesn't cover.
+	// dpDigDone flags completed extraction for checkpoint export without
+	// forcing it; the pipeline is single-goroutine at every read site.
+	dpDigOnce sync.Once
+	dpDig     *sim.PairDigests
+	dpDigDone bool
+	dpCols    map[string][]byte
 	// dp is the fully materialized data plane, built lazily: only the
 	// strawman baselines compare per-pair hop sequences.
 	dpOnce sync.Once
@@ -379,7 +393,7 @@ type baseline struct {
 	nextHops map[string]map[string]map[string]bool
 }
 
-func newBaseline(cfg *config.Network, simOpts sim.Options) (*baseline, error) {
+func newBaseline(cfg *config.Network, simOpts sim.Options, digestSeed map[string][]byte) (*baseline, error) {
 	snap, err := sim.SimulateOpts(cfg, simOpts)
 	if err != nil {
 		return nil, err
@@ -388,7 +402,7 @@ func newBaseline(cfg *config.Network, simOpts sim.Options) (*baseline, error) {
 		cfg:      cfg,
 		snap:     snap,
 		topo:     snap.Net.Topology(),
-		dpDig:    snap.PairDigestsFor(cfg.Hosts()),
+		dpCols:   digestSeed,
 		hosts:    cfg.Hosts(),
 		external: snap.Net.ExternalDestinations(),
 		nextHops: make(map[string]map[string]map[string]bool),
@@ -409,6 +423,16 @@ func newBaseline(cfg *config.Network, simOpts sim.Options) (*baseline, error) {
 		b.nextHops[r] = idx
 	}
 	return b, nil
+}
+
+// digests extracts (once) the original data plane's per-pair digest
+// view, honoring any checkpoint-recovered seed columns.
+func (b *baseline) digests() *sim.PairDigests {
+	b.dpDigOnce.Do(func() {
+		b.dpDig = b.snap.PairDigestsForSeeded(b.hosts, b.dpCols)
+		b.dpDigDone = true
+	})
+	return b.dpDig
 }
 
 // dataPlane materializes the original network's full data plane on first

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"slices"
 	"testing"
 
 	"confmask/internal/config"
@@ -166,5 +167,95 @@ func TestResumeBadCheckpoint(t *testing.T) {
 	opts.Resume = &StageCheckpoint{Stage: "topology", Configs: map[string]string{"x": "interface Y\n"}}
 	if _, _, err := Run(cfg, opts); err == nil {
 		t.Fatal("garbage checkpoint configs accepted")
+	}
+}
+
+// TestCheckpointCarriesBaselineDigests pins the digest payload of stage
+// checkpoints: under the ConfMask strategy the topology checkpoint
+// already carries the baseline's per-destination digest columns (forced
+// there because equivalence needs the plane immediately after), later
+// checkpoints keep them, and the host list matches the input's. A
+// resume whose doc was taken over a different host list must ignore the
+// seed and still converge byte-identically.
+func TestCheckpointCarriesBaselineDigests(t *testing.T) {
+	cfg := ospfNet(t)
+	opts := DefaultOptions()
+	opts.KR = 3
+	opts.KH = 2
+	opts.Seed = 11
+	cps, want, _ := runCollectingCheckpoints(t, cfg, opts)
+	hosts := cfg.Hosts()
+	for _, cp := range cps {
+		doc := cp.BaselineDigests
+		if doc == nil {
+			t.Fatalf("checkpoint %s carries no baseline digests", cp.Stage)
+		}
+		if !slices.Equal(doc.Hosts, hosts) {
+			t.Fatalf("checkpoint %s digest hosts %v, want %v", cp.Stage, doc.Hosts, hosts)
+		}
+		if len(doc.Cols) != len(hosts) {
+			t.Fatalf("checkpoint %s has %d digest columns, want %d", cp.Stage, len(doc.Cols), len(hosts))
+		}
+		for dst, col := range doc.Cols {
+			if len(col) != 2*16*len(hosts) {
+				t.Fatalf("checkpoint %s column %s is %d hex chars, want %d", cp.Stage, dst, len(col), 2*16*len(hosts))
+			}
+		}
+	}
+
+	// Host-list mismatch: the seed is ignored, the digests are
+	// re-extracted, and the resume stays byte-identical.
+	cp := *cps[0]
+	doc := *cp.BaselineDigests
+	doc.Hosts = append(append([]string(nil), doc.Hosts...), "no-such-host")
+	cp.BaselineDigests = &doc
+	ropts := opts
+	ropts.Resume = &cp
+	out, _, err := Run(cfg, ropts)
+	if err != nil {
+		t.Fatalf("resume with mismatched digest hosts: %v", err)
+	}
+	assertSameRender(t, want, out.Render(), "resume with mismatched digest hosts")
+}
+
+// TestCheckpointDigestSeedIsUsed proves the seeded resume path consumes
+// the checkpointed columns rather than re-deriving them: a deliberately
+// corrupted column makes the resumed equivalence stage's convergence
+// assertion compare anonymized digests against the corrupted baseline,
+// which must surface as a divergence error. (A resume that silently
+// re-extracted would succeed — and silently waste the work the
+// checkpoint was meant to save.)
+func TestCheckpointDigestSeedIsUsed(t *testing.T) {
+	cfg := ospfNet(t)
+	opts := DefaultOptions()
+	opts.KR = 3
+	opts.KH = 2
+	opts.Seed = 11
+	cps, _, _ := runCollectingCheckpoints(t, cfg, opts)
+	if cps[0].Stage != "topology" {
+		t.Fatalf("first checkpoint is %s, want topology", cps[0].Stage)
+	}
+	cp := *cps[0]
+	doc := *cp.BaselineDigests
+	doc.Cols = make(map[string]string, len(cp.BaselineDigests.Cols))
+	for d, c := range cp.BaselineDigests.Cols {
+		doc.Cols[d] = c
+	}
+	victim := doc.Hosts[0]
+	col := []byte(doc.Cols[victim])
+	// Flip a nibble of the (hosts[1], victim) digest — offset 16 bytes
+	// into the column — not the (victim, victim) diagonal slot, which
+	// the seeder zeroes regardless.
+	if col[32] == 'f' {
+		col[32] = '0'
+	} else {
+		col[32] = 'f'
+	}
+	doc.Cols[victim] = string(col)
+	cp.BaselineDigests = &doc
+	ropts := opts
+	ropts.Resume = &cp
+	if _, _, err := Run(cfg, ropts); err == nil {
+		t.Fatal("resume with corrupted digest seed converged — seed was recomputed, not reused")
 	}
 }

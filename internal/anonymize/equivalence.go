@@ -258,7 +258,7 @@ func routeEquivalence(ctx context.Context, out *config.Network, base *baseline, 
 			// through transient per-destination engines — no H² path
 			// materialization for either side of the comparison.
 			anonDig := snap.PairDigestsFor(base.hosts)
-			if pairs := base.dpDig.DiffPairs(anonDig); len(pairs) != 0 {
+			if pairs := base.digests().DiffPairs(anonDig); len(pairs) != 0 {
 				return iter, filters, fmt.Errorf("converged after %d iterations but %d host pairs still differ (first: %v)", iter, len(pairs), pairs[0])
 			}
 			// External equivalence classes: every router's next-hop set

@@ -91,7 +91,7 @@ func addFakeRouters(out *config.Network, pool *netaddr.Pool, base *baseline, n i
 		maxDist := 0
 		for _, a := range peers {
 			for _, b := range peers {
-				if d, ok := base.snap.OSPFDist[a][b]; ok && d > maxDist {
+				if d, ok := base.snap.OSPFDist.Dist(a, b); ok && d > maxDist {
 					maxDist = d
 				}
 			}

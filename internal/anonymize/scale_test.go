@@ -1,9 +1,11 @@
 package anonymize
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"confmask/internal/config"
 	"confmask/internal/netgen"
 	"confmask/internal/sim"
 )
@@ -91,5 +93,149 @@ func TestPipelineLargeNetworks(t *testing.T) {
 				t.Fatalf("functional equivalence violated for %d pairs (first %v)", len(diffs), diffs[0])
 			}
 		})
+	}
+}
+
+// ringNet builds a uniform-degree ring of n routers with hosts spread on
+// distinct routers: above the partition gate in size, but hub-free (the
+// hub threshold is 3× the ~2 average degree, which no router reaches),
+// so kdegree.Partition returns nil and every partition-parallel consumer
+// must take its global fallback path.
+func ringNet(t *testing.T, n, hosts int) *config.Network {
+	t.Helper()
+	b := netgen.NewBuilder(netgen.OSPF)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%03d", i)
+		b.Router(names[i])
+	}
+	for i := range names {
+		b.Link(names[i], names[(i+1)%n])
+	}
+	for i := 0; i < hosts; i++ {
+		b.Host(fmt.Sprintf("h%d", i), names[i*(n/hosts)])
+	}
+	cfg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestAnonymityGroupsDecomposition pins anonymityGroups' two regimes.
+// MultiRegion10x30 decomposes: hub-separated partitions group the fake
+// hosts by gateway, covering every fake host across more than one group.
+// The ring net passes the size gate but has no hubs, so the groups must
+// collapse to the single global group with the decomposition flag off —
+// the crafted global-fallback case of the repair loop.
+func TestAnonymityGroupsDecomposition(t *testing.T) {
+	setup := func(t *testing.T, cfg *config.Network) (*sim.Net, []string, map[string]string, map[string]string) {
+		t.Helper()
+		view, err := sim.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fakeHosts []string
+		realOf := make(map[string]string)
+		for _, h := range cfg.Hosts() {
+			fh := h + "-fk1"
+			fakeHosts = append(fakeHosts, fh)
+			realOf[fh] = h
+		}
+		return view, fakeHosts, view.GatewayOf, realOf
+	}
+
+	mr, err := netgen.MultiRegion10x30()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, fakeHosts, gw, realOf := setup(t, mr)
+	groups, applied := anonymityGroups(view, fakeHosts, gw, realOf, 6)
+	if !applied {
+		t.Fatal("MultiRegion10x30 did not decompose")
+	}
+	if len(groups) < 2 {
+		t.Fatalf("MultiRegion10x30 decomposed into %d group(s), want ≥ 2", len(groups))
+	}
+	covered := 0
+	for _, g := range groups {
+		covered += len(g)
+	}
+	if covered != len(fakeHosts) {
+		t.Fatalf("groups cover %d fake hosts, want %d", covered, len(fakeHosts))
+	}
+
+	ring := ringNet(t, partitionMinRouters+10, 6)
+	view, fakeHosts, gw, realOf = setup(t, ring)
+	groups, applied = anonymityGroups(view, fakeHosts, gw, realOf, 6)
+	if applied {
+		t.Fatal("hub-free ring decomposed; want global fallback")
+	}
+	if len(groups) != 1 || len(groups[0]) != len(fakeHosts) {
+		t.Fatalf("fallback groups = %d groups, want 1 global group of %d", len(groups), len(fakeHosts))
+	}
+}
+
+// TestAnonymityFallbackParallelismIdentity runs the full pipeline over
+// the crafted global-fallback ring at Parallelism 1 and 4: output must
+// be byte-identical, pinning that the repair loop's sharding (degenerate
+// single shard here) never leaks into the result.
+func TestAnonymityFallbackParallelismIdentity(t *testing.T) {
+	cfg := ringNet(t, partitionMinRouters+10, 6)
+	assertParallelismIdentity(t, cfg, 0.5)
+}
+
+// TestFatTreeParallelismIdentity pins workers=1 vs workers=N
+// byte-identity on the fat-trees, whose uniform degree distribution
+// also lands Algorithm 2 in the global group (no hubs to separate):
+// FatTree08 always, FatTree16 — the S1 scale network — unless -short.
+func TestFatTreeParallelismIdentity(t *testing.T) {
+	t.Run("FatTree08", func(t *testing.T) {
+		cfg, err := netgen.FatTree08()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertParallelismIdentity(t, cfg, 0.1)
+	})
+	t.Run("FatTree16", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("FatTree16 parallelism identity skipped in short mode")
+		}
+		cfg, err := netgen.FatTree16()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertParallelismIdentity(t, cfg, 0.1)
+	})
+}
+
+// assertParallelismIdentity anonymizes cfg at Parallelism 1 and 4 with
+// the given noise probability and fails on any rendered-output
+// difference.
+func assertParallelismIdentity(t *testing.T, cfg *config.Network, noiseP float64) {
+	t.Helper()
+	var want map[string]string
+	for _, par := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Seed = 1
+		opts.NoiseP = noiseP
+		opts.Parallelism = par
+		anon, _, err := Run(cfg, opts)
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", par, err)
+		}
+		got := anon.Render()
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Parallelism=%d: %d devices vs %d", par, len(got), len(want))
+		}
+		for name, text := range want {
+			if got[name] != text {
+				t.Fatalf("Parallelism=%d: device %s renders differently", par, name)
+			}
+		}
 	}
 }

@@ -193,8 +193,8 @@ func pickBorderRouter(work *topology.Graph, asOf map[string]string, as string, r
 // OSPF distance exists (RIP networks, disconnected domains) the protocol
 // default applies.
 func fakeLinkCosts(base *baseline, a, b string) (int, int) {
-	da, oka := base.snap.OSPFDist[a][b]
-	db, okb := base.snap.OSPFDist[b][a]
+	da, oka := base.snap.OSPFDist.Dist(a, b)
+	db, okb := base.snap.OSPFDist.Dist(b, a)
 	if !oka || !okb {
 		return 0, 0
 	}

@@ -118,8 +118,8 @@ func LargeCostLinks(cfg *config.Network) ([]LinkSuspicion, error) {
 		if ia == nil || ib == nil {
 			continue
 		}
-		distAB, okAB := snap.OSPFDist[l.A.Device][l.B.Device]
-		distBA, okBA := snap.OSPFDist[l.B.Device][l.A.Device]
+		distAB, okAB := snap.OSPFDist.Dist(l.A.Device, l.B.Device)
+		distBA, okBA := snap.OSPFDist.Dist(l.B.Device, l.A.Device)
 		if !okAB || !okBA {
 			continue
 		}

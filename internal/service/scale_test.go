@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"confmask"
+	"confmask/internal/anonymize"
+	"confmask/internal/config"
+)
+
+// TestDaemonFatTree16 submits the S1 scale network (FatTree16: 272
+// routers, 256 hosts) through the full daemon surface with a generous
+// stage timeout, asserts every pipeline stage surfaced as an event, and
+// pins the result byte-identical to a direct anonymize.RunContext with
+// the same parameters — the daemon adds journaling and transport around
+// the pipeline, never nondeterminism. Skipped under -short.
+func TestDaemonFatTree16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon-level FatTree16 test skipped in short mode")
+	}
+	configs, err := confmask.GenerateExample("FatTree16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		Workers:      1,
+		QueueDepth:   2,
+		JobTimeout:   8 * time.Minute,
+		StageTimeout: 5 * time.Minute,
+	})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := &Request{
+		Configs: configs,
+		Options: confmask.Options{KR: 6, KH: 2, NoiseP: 0.1, Seed: 424},
+	}
+	resp, st := postJob(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+
+	// waitState's default deadline fits the small nets; FatTree16 needs
+	// its own, scaled to the pipeline (≈25 s here, minutes with -race).
+	deadline := time.Now().Add(6 * time.Minute)
+	var final Status
+	for {
+		final = getStatus(t, ts, st.ID)
+		if final.State == StateDone {
+			break
+		}
+		if final.State.Terminal() {
+			t.Fatalf("job ended %s (error %q), want done", final.State, final.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", final.State)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	// Every pipeline stage must have surfaced as a progress event.
+	events := jobEvents(t, ts, st.ID)
+	for _, stage := range []string{"preprocess", "topology", "equivalence", "anonymity", "render"} {
+		if !hasEvent(events, func(e Event) bool { return e.Stage == stage }) {
+			t.Fatalf("no event for stage %q", stage)
+		}
+	}
+
+	r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("result: %s", r.Status)
+	}
+	var res struct {
+		Configs map[string]string `json:"configs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := config.ParseNetwork(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := anonymize.DefaultOptions()
+	opts.Seed = 424
+	direct, _, err := anonymize.RunContext(context.Background(), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.Render()
+	if len(res.Configs) != len(want) {
+		t.Fatalf("daemon result has %d configs, direct RunContext %d", len(res.Configs), len(want))
+	}
+	for name, text := range want {
+		if res.Configs[name] != text {
+			t.Fatalf("config %s differs between daemon and direct RunContext", name)
+		}
+	}
+}

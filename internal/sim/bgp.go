@@ -293,7 +293,7 @@ func igpMetricTo(igp *ospfState, r string, rt bgpRoute) int {
 	if !rt.fromIBGP || rt.peer == "" || rt.peer == r {
 		return 0
 	}
-	if d, ok := igp.dist[r][rt.peer]; ok {
+	if d, ok := igp.dist.Dist(r, rt.peer); ok {
 		return d
 	}
 	return 1 << 30

@@ -35,20 +35,25 @@ type simCore struct {
 
 // ospfCore is the link-state part of the OSPF computation: filters only
 // remove next-hop candidates at RIB-installation time (IOS semantics), so
-// the cost graph, the SPF distances, and the per-prefix distances are all
-// filter-independent.
+// the cost graph, the SPF distances, and the per-prefix advertisements are
+// all filter-independent. Per-prefix distance rows are NOT materialized
+// here — runOSPF streams them per destination shard from the DistMatrix
+// (one pooled []int32 row per in-flight prefix), so core memory is the
+// CSR graph plus the distance rows actually touched, never O(prefixes ×
+// routers).
 type ospfCore struct {
 	// speakers lists the OSPF routers in Routers() order.
 	speakers []string
-	// graph is the directed cost graph over OSPF adjacencies.
-	graph *wgraph
-	// dist[r][x] is the SPF distance between routers in the same OSPF
-	// domain; routers in different domains are mutually unreachable.
-	dist map[string]map[string]int
+	// t interns the speakers; fwd/dist index nodes by its IDs.
+	t *interner
+	// fwd is the directed cost graph over OSPF adjacencies in CSR form.
+	fwd *csrGraph
+	// dist is the all-pairs SPF view with on-demand destination rows.
+	dist *DistMatrix
 	// prefixes is every prefix advertised into OSPF, sorted.
 	prefixes []netip.Prefix
-	// distP[p][r] is the cheapest cost from router r to prefix p.
-	distP map[netip.Prefix]map[string]int
+	// advs[p] lists the stub-prefix advertisements for p.
+	advs map[netip.Prefix][]adv
 }
 
 // coreFor returns the Net's filter-independent core, building it on first
@@ -87,25 +92,23 @@ func (n *Net) buildCore(workers int) *simCore {
 		}
 	}
 	c.sessions = n.discoverSessions()
-	c.ospf = n.buildOSPFCore(workers)
+	c.ospf = n.buildOSPFCore()
 	return c
 }
 
 // adv is one stub-prefix advertisement into OSPF: the advertising router
-// and the advertising interface's cost.
+// (as an interned id) and the advertising interface's cost.
 type adv struct {
-	router string
-	cost   int
+	router int32
+	cost   int32
 }
 
-// buildOSPFCore computes the link-state view: the cost graph, all-pairs
-// SPF distances, and per-prefix distances.
-func (n *Net) buildOSPFCore(workers int) *ospfCore {
-	c := &ospfCore{
-		graph: newWGraph(),
-		dist:  make(map[string]map[string]int),
-		distP: make(map[netip.Prefix]map[string]int),
-	}
+// buildOSPFCore computes the link-state view: the interned speaker table,
+// the CSR cost graph, the on-demand all-pairs DistMatrix, and the
+// per-prefix advertisements. No distances are computed here — rows
+// materialize lazily as the route computation touches them.
+func (n *Net) buildOSPFCore() *ospfCore {
+	c := &ospfCore{advs: make(map[netip.Prefix][]adv)}
 	for _, r := range n.Cfg.Routers() {
 		if n.Cfg.Device(r).OSPF != nil {
 			c.speakers = append(c.speakers, r)
@@ -115,54 +118,40 @@ func (n *Net) buildOSPFCore(workers int) *ospfCore {
 		return c
 	}
 
+	// Every node of the cost graph is a speaker (ospfLinkEnabled requires
+	// OSPF on both endpoints), so interning the speakers covers the graph
+	// and isolated speakers alike.
+	c.t = internNames(c.speakers)
+
 	// Directed cost graph over enabled router-router links.
+	var edges []csrEdge
 	for _, l := range n.Links {
 		if !n.ospfLinkEnabled(l) {
 			continue
 		}
 		ia := n.Cfg.Device(l.A.Device).Interface(l.A.Iface)
 		ib := n.Cfg.Device(l.B.Device).Interface(l.B.Iface)
-		c.graph.add(l.A.Device, l.B.Device, ia.Cost(), l)
-		c.graph.add(l.B.Device, l.A.Device, ib.Cost(), l)
+		ai, _ := c.t.id(l.A.Device)
+		bi, _ := c.t.id(l.B.Device)
+		edges = append(edges, csrEdge{from: ai, to: bi, cost: clampCost32(ia.Cost()), link: l})
+		edges = append(edges, csrEdge{from: bi, to: ai, cost: clampCost32(ib.Cost()), link: l})
 	}
-	c.dist = c.graph.allPairs(c.speakers, workers)
+	c.fwd = buildCSR(c.t, edges)
+	c.dist = newDistMatrix(c.fwd.reverse())
 
 	// Advertised stub prefixes: every enabled connected interface prefix,
 	// at the advertising interface's cost.
-	advs := make(map[netip.Prefix][]adv)
 	for _, r := range c.speakers {
 		d := n.Cfg.Device(r)
+		ri, _ := c.t.id(r)
 		for _, i := range d.Interfaces {
 			if ospfEnabled(d, i) {
 				p := i.Addr.Masked()
-				advs[p] = append(advs[p], adv{router: r, cost: i.Cost()})
+				c.advs[p] = append(c.advs[p], adv{router: ri, cost: clampCost32(i.Cost())})
 			}
 		}
 	}
-	c.prefixes = sortedPrefixes(advs)
-
-	// distP[p][r]: cheapest cost from router r to prefix p; independent
-	// per prefix, so the fan-out writes index-addressed slots.
-	dps := make([]map[string]int, len(c.prefixes))
-	forEachIndex(workers, len(c.prefixes), func(i int) {
-		dp := make(map[string]int)
-		for _, a := range advs[c.prefixes[i]] {
-			for r := range c.dist {
-				da, ok := c.dist[r][a.router]
-				if !ok {
-					continue
-				}
-				total := da + a.cost
-				if cur, ok := dp[r]; !ok || total < cur {
-					dp[r] = total
-				}
-			}
-		}
-		dps[i] = dp
-	})
-	for i, p := range c.prefixes {
-		c.distP[p] = dps[i]
-	}
+	c.prefixes = sortedPrefixes(c.advs)
 	return c
 }
 

@@ -270,6 +270,183 @@ func (e *destEngine) digestFor(src string, scratch []byte) (Digest, []byte) {
 	return digestOfBytes(buf), buf[:0]
 }
 
+// delivInfo is one node's delivered-reachability census over its capped
+// suffix set: the number of suffixes the maxTracePaths cap admits (count)
+// and whether any admitted suffix is Delivered (del). It mirrors memoOf's
+// cap arithmetic exactly — child c contributes min(len(c), cap-total)
+// DFS-ordered entries — without building the memo, so a delivery check is
+// O(nodes) per destination instead of O(paths × hops).
+type delivInfo struct {
+	count int32
+	del   bool
+}
+
+// delivInfoOf computes (caching) the census for a non-loopy node whose
+// downstream region is a DAG; the recursion is bounded by maxLen, like
+// memoOf. Callers hold mu.
+func (e *destEngine) delivInfoOf(i int32) delivInfo {
+	for len(e.dinfoOK) < len(e.nodes) {
+		// Sized to the node table, which indexOf may have grown since the
+		// last census (out-of-config trace starts).
+		e.dinfoOK = append(e.dinfoOK, false)
+		e.dinfo = append(e.dinfo, delivInfo{})
+	}
+	if e.dinfoOK[i] {
+		return e.dinfo[i]
+	}
+	n := &e.nodes[i]
+	var di delivInfo
+	switch n.kind {
+	case deliveredNode:
+		di = delivInfo{count: 1, del: true}
+	case blackholeNode:
+		di = delivInfo{count: 1}
+	default:
+		total := int32(0)
+		for _, s := range n.succ {
+			sub := e.delivInfoOf(s)
+			c := sub.count
+			if total+c > maxTracePaths {
+				c = maxTracePaths - total
+			}
+			if c == sub.count {
+				// Whole child admitted: its census applies as-is.
+				di.del = di.del || sub.del
+			} else if c > 0 && sub.del {
+				// Cap truncates this child mid-way: whether a Delivered
+				// suffix survives depends on its position in the child's
+				// DFS order, so fall back to the memo for the truncated
+				// child alone (still cap-bounded work).
+				m := e.memoOf(s)
+				for _, st := range m.status[:c] {
+					if st == Delivered {
+						di.del = true
+						break
+					}
+				}
+			}
+			total += c
+			if total >= maxTracePaths {
+				break
+			}
+		}
+		di.count = total
+	}
+	e.dinfoOK[i] = true
+	e.dinfo[i] = di
+	return di
+}
+
+// deliveredTraceLocked is the loop/deep fallback for delivered-only
+// queries: the exact trace enumeration — same suffix-splice condition,
+// same maxTracePaths / maxTraceDepth truncation, same branch order — but
+// tracking only the emitted-path count and whether any emitted path is
+// Delivered, so no hop list, Path value, or key string is ever built.
+// (The repair loop of Algorithm 2 lives here: noise filters make
+// per-router OSPF choices inconsistent, so the twinned network is full
+// of forwarding loops and nearly every source takes this fallback.)
+// Returns as soon as a Delivered path is found: later paths cannot
+// retract delivery. Callers hold mu.
+func (e *destEngine) deliveredTraceLocked(start int32) bool {
+	onStack := make([]bool, len(e.nodes))
+	emitted := int32(0)
+	del := false
+	var walk func(cur int32, depth int)
+	walk = func(cur int32, depth int) {
+		if del || emitted >= maxTracePaths {
+			return
+		}
+		n := &e.nodes[cur]
+		if !n.loopy && depth+n.maxLen <= maxTraceDepth {
+			// Suffix splice: trace emits min(len(memo), cap-emitted)
+			// entries of the node's DFS-ordered suffix set. The census
+			// count is exactly the memo length, so the whole-set case
+			// needs no memo at all; a cap truncation scans the memo's
+			// status prefix, like delivInfoOf's truncated-child case.
+			need := maxTracePaths - emitted
+			di := e.delivInfoOf(cur)
+			if di.count <= need {
+				emitted += di.count
+				del = del || di.del
+				return
+			}
+			if di.del {
+				for _, st := range e.memoOf(cur).status[:need] {
+					if st == Delivered {
+						del = true
+						break
+					}
+				}
+			}
+			emitted = maxTracePaths
+			return
+		}
+		depth++
+		if n.kind == deliveredNode {
+			emitted++
+			del = true
+			return
+		}
+		// Walker truncations each emit exactly one non-Delivered path
+		// (Looped on revisit or depth, BlackHoled on no-route), so the
+		// distinctions collapse for a delivered-only count.
+		if onStack[cur] || depth > maxTraceDepth || n.kind == blackholeNode {
+			emitted++
+			return
+		}
+		onStack[cur] = true
+		for _, s := range n.succ {
+			walk(s, depth)
+		}
+		onStack[cur] = false
+	}
+	walk(start, 0)
+	return del
+}
+
+// deliveredFromLocked reports whether at least one path from src toward
+// the destination is Delivered — exactly delivered-status membership in
+// pathsForLocked(src), via the census for the memoizable region and the
+// count-only trace for loopy/deep sources. Callers hold mu.
+func (e *destEngine) deliveredFromLocked(src string) bool {
+	if r, ok := e.bySrc[src]; ok {
+		for _, p := range r.paths {
+			if p.Status == Delivered {
+				return true
+			}
+		}
+		return false
+	}
+	if !e.built {
+		e.build()
+	}
+	i := e.indexOf(src)
+	if n := &e.nodes[i]; n.loopy || n.maxLen > maxTraceDepth {
+		return e.deliveredTraceLocked(i)
+	}
+	return e.delivInfoOf(i).del
+}
+
+// DeliveredFrom reports, for each source, whether at least one forwarding
+// path from it toward dst is delivered — element i answers for srcs[i],
+// with the exact semantics of scanning TraceFrom(srcs[i], dst) for a
+// Delivered path (including the maxTracePaths truncation), computed
+// without materializing hop lists for the acyclic in-depth region.
+// Unknown destinations yield all-false, like TraceFrom's nil result.
+func (s *Snapshot) DeliveredFrom(dst string, srcs []string) []bool {
+	out := make([]bool, len(srcs))
+	e := s.engineFor(dst)
+	if e == nil {
+		return out
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, src := range srcs {
+		out[i] = e.deliveredFromLocked(src)
+	}
+	return out
+}
+
 // srcResult is a finished per-source trace: canonically sorted paths plus
 // the fingerprint EqualOver-style comparisons use.
 type srcResult struct {
@@ -299,6 +476,11 @@ type destEngine struct {
 	extra  map[string]int32
 	nodes  []destNode
 	bySrc  map[string]srcResult
+	// dinfo/dinfoOK cache the per-node delivered census (see delivInfo),
+	// filled lazily per node like the suffix memos and re-grown when
+	// indexOf appends out-of-config nodes.
+	dinfo   []delivInfo
+	dinfoOK []bool
 	// scratch is the reusable canonical-key byte buffer viewOf hashes
 	// through; guarded by mu like the rest of the lazy state.
 	scratch []byte

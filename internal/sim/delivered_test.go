@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"confmask/internal/netgen"
+)
+
+// wantDelivered is the reference semantics: scan the full trace.
+func wantDelivered(ps []Path) bool {
+	for _, p := range ps {
+		if p.Status == Delivered {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDeliveredFromMatchesTrace pins DeliveredFrom to delivered-status
+// membership of TraceFrom on randomized topologies with injected loops,
+// black holes, and discard routes — checking the census path (queried
+// before any trace caches paths) and the cached-result path (queried
+// again after TraceFrom ran) separately.
+func TestDeliveredFromMatchesTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7042))
+	for trial := 0; trial < 12; trial++ {
+		cfg := randomSimNet(t, netgen.OSPF, rng)
+		snap, err := SimulateOpts(cfg, Options{Parallelism: 1 + rng.Intn(4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts := cfg.Hosts()
+		routers := cfg.Routers()
+		for m := 0; m < 2+rng.Intn(6); m++ {
+			r := routers[rng.Intn(len(routers))]
+			h := hosts[rng.Intn(len(hosts))]
+			pfx := snap.Net.HostPrefix[h]
+			fib := snap.FIBs[r]
+			if fib == nil {
+				continue
+			}
+			switch rng.Intn(4) {
+			case 0:
+				tgt := routers[rng.Intn(len(routers))]
+				fib[pfx] = &Route{Prefix: pfx, Source: SrcOSPF, NextHops: []NextHop{{Device: tgt}}}
+			case 1:
+				t1 := routers[rng.Intn(len(routers))]
+				t2 := routers[rng.Intn(len(routers))]
+				fib[pfx] = &Route{Prefix: pfx, Source: SrcOSPF, NextHops: sortNextHops([]NextHop{{Device: t1}, {Device: t2, Iface: "x"}})}
+			case 2:
+				delete(fib, pfx)
+			case 3:
+				fib[pfx] = &Route{Prefix: pfx, Source: SrcStatic, NextHops: []NextHop{{Device: DiscardDevice, Iface: "Null0"}}}
+			}
+		}
+		devs := cfg.Names()
+		for _, dst := range hosts {
+			// Census path: no traces have run for this destination yet.
+			got := snap.DeliveredFrom(dst, devs)
+			for i, dev := range devs {
+				if want := wantDelivered(snap.traceNaive(dev, dst)); got[i] != want {
+					t.Fatalf("trial %d: DeliveredFrom(%s)[%s] = %v, want %v (census path)", trial, dst, dev, got[i], want)
+				}
+			}
+			// Cached path: TraceFrom populated bySrc; answers must agree.
+			for _, dev := range devs {
+				snap.TraceFrom(dev, dst)
+			}
+			again := snap.DeliveredFrom(dst, devs)
+			for i, dev := range devs {
+				if again[i] != got[i] {
+					t.Fatalf("trial %d: DeliveredFrom(%s)[%s] changed after trace caching", trial, dst, dev)
+				}
+			}
+		}
+		// Unknown destinations answer all-false, like TraceFrom's nil.
+		for _, v := range snap.DeliveredFrom("no-such-host", devs) {
+			if v {
+				t.Fatal("unknown destination reported delivered")
+			}
+		}
+	}
+}
+
+// TestDeliveredFromDeepChain drives the loopy/deep fallback: a chain
+// longer than maxTraceDepth forces the walker's Looped truncation, and
+// DeliveredFrom must agree with the trace on every chain position.
+func TestDeliveredFromDeepChain(t *testing.T) {
+	b := netgen.NewBuilder(netgen.OSPF)
+	n := maxTraceDepth + 8
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("c%03d", i)
+		b.Router(names[i])
+	}
+	for i := 0; i+1 < n; i++ {
+		b.Link(names[i], names[i+1])
+	}
+	b.Host("h0", names[n-1])
+	cfg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snap.DeliveredFrom("h0", names)
+	for i, dev := range names {
+		if want := wantDelivered(snap.TraceFrom(dev, "h0")); got[i] != want {
+			t.Fatalf("DeliveredFrom[%s] = %v, want %v", dev, got[i], want)
+		}
+	}
+}

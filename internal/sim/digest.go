@@ -122,6 +122,44 @@ func (pd *PairDigests) DiffPairs(other *PairDigests) []Pair {
 // digests are identical to the ones a full DataPlaneFor extraction
 // computes for the same Snapshot.
 func (s *Snapshot) PairDigestsFor(hosts []string) *PairDigests {
+	return s.PairDigestsForSeeded(hosts, nil)
+}
+
+// digestColLen is the serialized size of one destination's digest
+// column: one 16-byte digest per source, in hosts order.
+func digestColLen(hosts []string) int { return len(hosts) * 16 }
+
+// ExportColumns serializes the digest plane as per-destination columns:
+// the column for destination d is the concatenation of the (src, d)
+// digests for every src in the plane's hosts order (the zero diagonal
+// slot included, so a column is always 16×len(hosts) bytes). Columns
+// are the unit of reuse for checkpointed digest planes — a resumed job
+// seeds PairDigestsForSeeded with the columns of destinations its edit
+// left clean.
+func (pd *PairDigests) ExportColumns() map[string][]byte {
+	h := len(pd.hosts)
+	out := make(map[string][]byte, h)
+	for j, dst := range pd.hosts {
+		col := make([]byte, 0, digestColLen(pd.hosts))
+		for _, d := range pd.fps[j*h : (j+1)*h] {
+			col = append(col, d[:]...)
+		}
+		out[dst] = col
+	}
+	return out
+}
+
+// PairDigestsForSeeded is PairDigestsFor with a per-destination seed: a
+// destination whose seed column is present and well-formed (exactly
+// 16×len(hosts) bytes, in hosts order — ExportColumns of a plane over
+// the same host list) is decoded from the seed instead of extracted
+// from the Snapshot; only the remaining destinations pay a
+// successor-graph engine. Seed columns are trusted — the caller
+// guarantees they came from an identical-decision Snapshot over the
+// same hosts — and malformed or missing columns silently fall back to
+// extraction, so a stale or partial seed degrades to correct work, not
+// to wrong digests.
+func (s *Snapshot) PairDigestsForSeeded(hosts []string, seed map[string][]byte) *PairDigests {
 	pd := &PairDigests{
 		hosts: hosts,
 		index: make(map[string]int, len(hosts)),
@@ -130,14 +168,22 @@ func (s *Snapshot) PairDigestsFor(hosts []string) *PairDigests {
 	for i, h := range hosts {
 		pd.index[h] = i
 	}
+	colLen := digestColLen(hosts)
 	forEachIndex(s.traceWorkers(), len(hosts), func(j int) {
 		dst := hosts[j]
+		row := pd.fps[j*len(hosts) : (j+1)*len(hosts)]
+		if col, ok := seed[dst]; ok && len(col) == colLen {
+			for i := range row {
+				copy(row[i][:], col[i*16:])
+			}
+			row[j] = Digest{} // diagonal stays reserved-zero regardless
+			return
+		}
 		e := s.transientEngineFor(dst)
 		if e == nil {
 			return // unknown destination: zero digests, like Trace's nil
 		}
 		var scratch []byte
-		row := pd.fps[j*len(hosts) : (j+1)*len(hosts)]
 		for i, src := range hosts {
 			if src == dst {
 				continue

@@ -58,7 +58,7 @@ func SimulateNetOpts(n *Net, opts Options) *Snapshot {
 // independently.
 func (n *Net) deviceFIB(name string, igp *ospfState, rip, eigrp map[string]map[netip.Prefix]*Route, bgp *bgpState) FIB {
 	d := n.Cfg.Device(name)
-	fib := make(FIB)
+	fib := make(FIB, len(igp.routes[name])+len(rip[name])+len(eigrp[name])+len(d.Interfaces))
 
 	install := func(r *Route) {
 		if len(r.NextHops) == 0 {

@@ -8,46 +8,63 @@ import (
 	"confmask/internal/config"
 )
 
-func TestWGraphDijkstra(t *testing.T) {
-	g := newWGraph()
-	g.add("a", "b", 1, nil)
-	g.add("b", "c", 2, nil)
-	g.add("a", "c", 10, nil)
-	g.add("c", "d", 1, nil)
-	dist := g.dijkstra("a")
+// testMatrix builds a DistMatrix over the named nodes and directed edges.
+func testMatrix(nodes []string, edges [][3]any) *DistMatrix {
+	t := internNames(nodes)
+	es := make([]csrEdge, 0, len(edges))
+	for _, e := range edges {
+		f, _ := t.id(e[0].(string))
+		to, _ := t.id(e[1].(string))
+		es = append(es, csrEdge{from: f, to: to, cost: int32(e[2].(int))})
+	}
+	return newDistMatrix(buildCSR(t, es).reverse())
+}
+
+func TestDistMatrixDijkstra(t *testing.T) {
+	m := testMatrix([]string{"a", "b", "c", "d"}, [][3]any{
+		{"a", "b", 1}, {"b", "c", 2}, {"a", "c", 10}, {"c", "d", 1},
+	})
 	want := map[string]int{"a": 0, "b": 1, "c": 3, "d": 4}
 	for n, d := range want {
-		if dist[n] != d {
-			t.Fatalf("dist[%s] = %d, want %d", n, dist[n], d)
+		got, ok := m.Dist("a", n)
+		if !ok || got != d {
+			t.Fatalf("dist a→%s = %d,%v, want %d", n, got, ok, d)
 		}
 	}
-	if _, ok := dist["missing"]; ok {
-		t.Fatal("unreachable node present")
+	if _, ok := m.Dist("a", "missing"); ok {
+		t.Fatal("unknown node reachable")
+	}
+	if _, ok := m.Dist("d", "a"); ok {
+		t.Fatal("unreachable pair reported reachable")
 	}
 }
 
-func TestWGraphDijkstraAsymmetric(t *testing.T) {
+func TestDistMatrixAsymmetric(t *testing.T) {
 	// Different costs per direction, as OSPF allows.
-	g := newWGraph()
-	g.add("a", "b", 1, nil)
-	g.add("b", "a", 7, nil)
-	if d := g.dijkstra("a")["b"]; d != 1 {
-		t.Fatalf("a→b = %d", d)
+	m := testMatrix([]string{"a", "b"}, [][3]any{{"a", "b", 1}, {"b", "a", 7}})
+	if d, ok := m.Dist("a", "b"); !ok || d != 1 {
+		t.Fatalf("a→b = %d,%v", d, ok)
 	}
-	if d := g.dijkstra("b")["a"]; d != 7 {
-		t.Fatalf("b→a = %d", d)
+	if d, ok := m.Dist("b", "a"); !ok || d != 7 {
+		t.Fatalf("b→a = %d,%v", d, ok)
 	}
 }
 
-func TestWGraphAllPairsIncludesExtras(t *testing.T) {
-	g := newWGraph()
-	g.add("a", "b", 1, nil)
-	ap := g.allPairs([]string{"isolated"}, 1)
-	if _, ok := ap["isolated"]; !ok {
-		t.Fatal("extra source missing")
+func TestDistMatrixIsolatedSpeaker(t *testing.T) {
+	// A speaker with no enabled links is interned but reaches only itself,
+	// like the old allPairs "extra sources" behavior.
+	m := testMatrix([]string{"a", "b", "isolated"}, [][3]any{{"a", "b", 1}})
+	if d, ok := m.Dist("isolated", "isolated"); !ok || d != 0 {
+		t.Fatalf("self distance = %d,%v", d, ok)
 	}
-	if len(ap["isolated"]) != 1 { // itself only
-		t.Fatalf("isolated reaches %v", ap["isolated"])
+	if _, ok := m.Dist("isolated", "a"); ok {
+		t.Fatal("isolated node reaches a")
+	}
+	if _, ok := m.Dist("a", "isolated"); ok {
+		t.Fatal("a reaches isolated node")
+	}
+	if _, ok := (*DistMatrix)(nil).Dist("a", "b"); ok {
+		t.Fatal("nil matrix must report unreachable")
 	}
 }
 
@@ -93,9 +110,9 @@ func TestSortNextHopsProperties(t *testing.T) {
 
 func TestBGPBetterDecisionOrder(t *testing.T) {
 	n := &Net{Cfg: config.NewNetwork()}
-	igp := &ospfState{dist: map[string]map[string]int{
-		"r": {"near": 1, "far": 9},
-	}}
+	igp := &ospfState{dist: testMatrix([]string{"r", "near", "far"}, [][3]any{
+		{"r", "near", 1}, {"r", "far", 9},
+	})}
 	short := bgpRoute{asPath: []int{1}}
 	long := bgpRoute{asPath: []int{1, 2}}
 	if !bgpBetter(n, igp, "r", short, long) || bgpBetter(n, igp, "r", long, short) {

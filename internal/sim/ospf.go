@@ -2,6 +2,7 @@ package sim
 
 import (
 	"net/netip"
+	"sync"
 
 	"confmask/internal/config"
 )
@@ -37,19 +38,50 @@ func (n *Net) ospfLinkEnabled(l *Link) bool {
 // ospfState is the computed link-state view shared by FIB construction and
 // BGP next-hop resolution.
 type ospfState struct {
-	// dist[r][x] is the SPF distance between routers in the same OSPF
-	// domain; routers in different domains are mutually unreachable.
-	dist map[string]map[string]int
-	// graph is the directed cost graph over OSPF adjacencies.
-	graph *wgraph
+	// dist is the all-pairs SPF view (on-demand destination rows).
+	dist *DistMatrix
+	// t interns the speakers; fwd indexes nodes by its IDs.
+	t *interner
+	// fwd is the directed cost graph over OSPF adjacencies.
+	fwd *csrGraph
 	// routes[r][p] is the OSPF route of router r to prefix p.
 	routes map[string]map[netip.Prefix]*Route
 }
 
+// ospfRowPool recycles the per-prefix distance rows runOSPF streams: one
+// live row per in-flight prefix shard, instead of a materialized
+// prefixes × routers matrix.
+var ospfRowPool = sync.Pool{New: func() any { return new([]int32) }}
+
+func getOSPFRow(n int) []int32 {
+	p := ospfRowPool.Get().(*[]int32)
+	r := *p
+	if cap(r) < n {
+		r = make([]int32, n)
+	}
+	r = r[:n]
+	for i := range r {
+		r[i] = -1
+	}
+	return r
+}
+
+func putOSPFRow(r []int32) { ospfRowPool.Put(&r) }
+
 // runOSPF computes OSPF routes for every OSPF-speaking router. The
-// link-state view (cost graph, SPF distances, per-prefix distances) comes
-// from the Net's cached core; only the per-router, filter-dependent route
-// tables are recomputed, fanned out across the worker pool.
+// link-state view (interned cost graph, SPF distance rows) comes from the
+// Net's cached core; only the filter-dependent route tables are
+// recomputed.
+//
+// The computation is destination-sharded: for each advertised prefix, a
+// pooled dense []int32 row of per-router distances to the prefix is
+// streamed from the DistMatrix (min over the prefix's advertisers of the
+// distance-to-advertiser row plus the advertising cost — exactly the old
+// distP result, computed per shard and released when the shard finishes),
+// and every speaker's candidate selection reads that row by interned
+// neighbor id. A final router-sharded pass gathers each router's column
+// into its route table. Both passes write index-addressed slots, so the
+// output is identical at any worker count.
 //
 // Filters (distribute-list in on an interface) remove the corresponding
 // next-hop candidates at RIB-installation time on the filtering router
@@ -61,57 +93,132 @@ func (n *Net) runOSPF(workers int) *ospfState {
 	oc := core.ospf
 	st := &ospfState{
 		dist:   oc.dist,
-		graph:  oc.graph,
+		t:      oc.t,
+		fwd:    oc.fwd,
 		routes: make(map[string]map[netip.Prefix]*Route, len(oc.speakers)),
 	}
 	if len(oc.speakers) == 0 {
 		return st
 	}
 
-	// Per-router route computation with hop-by-hop candidate selection;
-	// routers are independent, so each worker fills its own table slot.
-	tables := make([]map[netip.Prefix]*Route, len(oc.speakers))
-	forEachIndex(workers, len(oc.speakers), func(idx int) {
-		r := oc.speakers[idx]
+	// Filter-independent per-speaker state, resolved once per run instead
+	// of once per (prefix, link): the device, its connected prefixes, and
+	// its candidate links with interned neighbor ids and local costs, in
+	// core.ospfLinks order (the order the candidate scan has always
+	// branched in).
+	type linkCand struct {
+		nb     int32 // neighbor speaker id
+		nbName string
+		iface  string // local interface name
+		cost   int32  // local interface cost
+	}
+	S := len(oc.speakers)
+	devs := make([]*config.Device, S)
+	connected := make([]map[netip.Prefix]bool, S)
+	cands := make([][]linkCand, S)
+	forEachIndex(workers, S, func(si int) {
+		r := oc.speakers[si]
 		d := n.Cfg.Device(r)
-		connected := make(map[netip.Prefix]bool)
+		devs[si] = d
+		conn := make(map[netip.Prefix]bool)
 		for _, i := range d.Interfaces {
 			if i.Addr.IsValid() {
-				connected[i.Addr.Masked()] = true
+				conn[i.Addr.Masked()] = true
 			}
 		}
-		table := make(map[netip.Prefix]*Route)
-		for _, p := range oc.prefixes {
-			if connected[p] {
-				continue // connected route wins; OSPF never overrides it
-			}
-			best := -1
-			var nhs []NextHop
-			for _, l := range core.ospfLinks[r] {
-				local, _ := l.Local(r)
-				other, _ := l.Other(r)
-				dn, ok := oc.distP[p][other.Device]
-				if !ok {
+		connected[si] = conn
+		cs := make([]linkCand, 0, len(core.ospfLinks[r]))
+		for _, l := range core.ospfLinks[r] {
+			local, _ := l.Local(r)
+			other, _ := l.Other(r)
+			nb, _ := oc.t.id(other.Device)
+			li := d.Interface(local.Iface)
+			cs = append(cs, linkCand{nb: nb, nbName: other.Device, iface: local.Iface, cost: clampCost32(li.Cost())})
+		}
+		cands[si] = cs
+	})
+
+	// Destination-sharded candidate selection.
+	P := len(oc.prefixes)
+	routesByPrefix := make([][]*Route, P)
+	forEachIndex(workers, P, func(pi int) {
+		p := oc.prefixes[pi]
+		dp := getOSPFRow(oc.t.size())
+		for _, a := range oc.advs[p] {
+			arow := oc.dist.rowTo(a.router)
+			for s, das := range arow {
+				if das < 0 {
 					continue
 				}
-				li := d.Interface(local.Iface)
-				cand := li.Cost() + dn
-				if n.filterDeniesOSPF(d, local.Iface, p) {
+				if t := satAdd32(das, a.cost); dp[s] < 0 || t < dp[s] {
+					dp[s] = t
+				}
+			}
+		}
+		// Routes and next-hop lists are arena-allocated per prefix (one
+		// backing array each instead of one allocation per route), which
+		// is what keeps the GC out of the way at 10⁶ routes. Slices into
+		// the arenas are taken only after both are fully grown.
+		out := make([]*Route, S)
+		arena := make([]Route, 0, S)
+		var nhArena []NextHop
+		slot := make([]int32, S)
+		type span struct{ start, end int32 }
+		spans := make([]span, 0, S)
+		for si := range oc.speakers {
+			slot[si] = -1
+			if connected[si][p] {
+				continue // connected route wins; OSPF never overrides it
+			}
+			d := devs[si]
+			best := int32(-1)
+			start := int32(len(nhArena))
+			for _, lc := range cands[si] {
+				dn := dp[lc.nb]
+				if dn < 0 {
+					continue
+				}
+				cand := satAdd32(lc.cost, dn)
+				if n.filterDeniesOSPF(d, lc.iface, p) {
 					continue
 				}
 				switch {
 				case best == -1 || cand < best:
 					best = cand
-					nhs = []NextHop{{Device: other.Device, Iface: local.Iface}}
+					nhArena = append(nhArena[:start], NextHop{Device: lc.nbName, Iface: lc.iface})
 				case cand == best:
-					nhs = append(nhs, NextHop{Device: other.Device, Iface: local.Iface})
+					nhArena = append(nhArena, NextHop{Device: lc.nbName, Iface: lc.iface})
 				}
 			}
 			if best >= 0 {
-				table[p] = &Route{Prefix: p, Source: SrcOSPF, Metric: best, NextHops: sortNextHops(nhs)}
+				seg := sortNextHops(nhArena[start:])
+				nhArena = nhArena[:int(start)+len(seg)]
+				slot[si] = int32(len(arena))
+				arena = append(arena, Route{Prefix: p, Source: SrcOSPF, Metric: int(best)})
+				spans = append(spans, span{start: start, end: int32(len(nhArena))})
 			}
 		}
-		tables[idx] = table
+		for si := range oc.speakers {
+			if j := slot[si]; j >= 0 {
+				sp := spans[j]
+				arena[j].NextHops = nhArena[sp.start:sp.end:sp.end]
+				out[si] = &arena[j]
+			}
+		}
+		putOSPFRow(dp)
+		routesByPrefix[pi] = out
+	})
+
+	// Router-sharded gather: each router's column becomes its table.
+	tables := make([]map[netip.Prefix]*Route, S)
+	forEachIndex(workers, S, func(si int) {
+		table := make(map[netip.Prefix]*Route)
+		for pi, p := range oc.prefixes {
+			if rt := routesByPrefix[pi][si]; rt != nil {
+				table[p] = rt
+			}
+		}
+		tables[si] = table
 	})
 	for i, r := range oc.speakers {
 		st.routes[r] = tables[i]
@@ -134,24 +241,31 @@ func (n *Net) filterDeniesOSPF(d *config.Device, iface string, p netip.Prefix) b
 
 // nextHopsToRouter returns the OSPF first hops from router r toward router
 // dst (used for BGP recursive next-hop resolution). Filters do not apply:
-// resolution targets router-level reachability, not host prefixes.
+// resolution targets router-level reachability, not host prefixes. The
+// scan walks dst's dense distance row plus r's CSR arcs — no map lookups.
 func (st *ospfState) nextHopsToRouter(n *Net, r, dst string) []NextHop {
-	if r == dst {
+	if r == dst || st.t == nil {
 		return nil
 	}
-	target, ok := st.dist[r][dst]
-	if !ok {
+	ri, okr := st.t.id(r)
+	di, okd := st.t.id(dst)
+	if !okr || !okd {
+		return nil
+	}
+	row := st.dist.rowTo(di)
+	target := row[ri]
+	if target < 0 {
 		return nil
 	}
 	var nhs []NextHop
-	for _, a := range st.graph.arcs[r] {
-		dn, ok := st.dist[a.to][dst]
-		if !ok {
+	for _, a := range st.fwd.outArcs(ri) {
+		dn := row[a.to]
+		if dn < 0 {
 			continue
 		}
-		if a.cost+dn == target {
+		if satAdd32(a.cost, dn) == target {
 			local, _ := a.link.Local(r)
-			nhs = append(nhs, NextHop{Device: a.to, Iface: local.Iface})
+			nhs = append(nhs, NextHop{Device: st.t.names[a.to], Iface: local.Iface})
 		}
 	}
 	return sortNextHops(nhs)

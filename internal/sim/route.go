@@ -72,12 +72,14 @@ type Route struct {
 
 // sortNextHops orders next hops deterministically and removes duplicates.
 func sortNextHops(nhs []NextHop) []NextHop {
-	sort.Slice(nhs, func(i, j int) bool {
-		if nhs[i].Device != nhs[j].Device {
-			return nhs[i].Device < nhs[j].Device
+	// Insertion sort: next-hop lists are ECMP-width (a handful of
+	// entries), and the closure-free sort keeps the per-route cost out of
+	// the allocator on the 10⁵–10⁶-route runs of the scale networks.
+	for i := 1; i < len(nhs); i++ {
+		for j := i; j > 0 && nextHopLess(nhs[j], nhs[j-1]); j-- {
+			nhs[j], nhs[j-1] = nhs[j-1], nhs[j]
 		}
-		return nhs[i].Iface < nhs[j].Iface
-	})
+	}
 	out := nhs[:0]
 	var prev NextHop
 	for i, nh := range nhs {
@@ -88,6 +90,13 @@ func sortNextHops(nhs []NextHop) []NextHop {
 		prev = nh
 	}
 	return out
+}
+
+func nextHopLess(a, b NextHop) bool {
+	if a.Device != b.Device {
+		return a.Device < b.Device
+	}
+	return a.Iface < b.Iface
 }
 
 // FIB is a router's forwarding table: destination prefix → best route.
@@ -127,10 +136,12 @@ func (f FIB) Prefixes() []netip.Prefix {
 type Snapshot struct {
 	Net  *Net
 	FIBs map[string]FIB
-	// OSPFDist is the SPF distance matrix between routers of the same
-	// OSPF domain. ConfMask reads it as min_cost(r, r′) when assigning
-	// fake-link costs (the link-state SFE condition).
-	OSPFDist map[string]map[string]int
+	// OSPFDist is the SPF distance view between routers of the same OSPF
+	// domain, with dense rows computed on demand per destination. ConfMask
+	// reads it as min_cost(r, r′) when assigning fake-link costs (the
+	// link-state SFE condition); nil for networks without OSPF speakers
+	// (Dist is nil-safe).
+	OSPFDist *DistMatrix
 
 	// workers is the Parallelism the Snapshot was simulated with; it also
 	// sizes the worker pool for destination-sharded data-plane extraction.

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"confmask/internal/config"
+	"confmask/internal/netgen"
+)
+
+// BenchmarkSPFAllPairs measures the interned all-pairs SPF core: one
+// reverse-graph Dijkstra per destination filling a dense []int32 row,
+// driven by the typed index heap (seq = one worker, par = GOMAXPROCS).
+// -benchmem makes the allocation profile visible: after pool warm-up each
+// row costs exactly its own []int32.
+func BenchmarkSPFAllPairs(b *testing.B) {
+	fatTree, err := netgen.FatTree08()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fatTree16, err := netgen.FatTree16()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := []struct {
+		name string
+		cfg  *config.Network
+	}{
+		{"FatTree08", fatTree},
+		{"FatTree16", fatTree16},
+	}
+	for _, nc := range nets {
+		n, err := Build(nc.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oc := n.coreFor(1).ospf
+		if oc.t == nil {
+			b.Fatal("no OSPF speakers")
+		}
+		run := func(workers int) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m := newDistMatrix(oc.fwd.reverse())
+					m.computeAll(workers)
+				}
+			}
+		}
+		b.Run(nc.name+"/seq", run(1))
+		b.Run(nc.name+"/par", run(runtime.GOMAXPROCS(0)))
+	}
+}
