@@ -63,6 +63,29 @@ var (
 	retryCap      = 5 * time.Second
 )
 
+// parseRetryAfter parses a Retry-After header value per RFC 9110 §10.2.3:
+// either a non-negative integer of seconds or an HTTP-date (any of the
+// three formats http.ParseTime accepts). Garbage and dates in the past
+// parse to 0, meaning "no usable hint" — the caller falls back to its
+// computed backoff.
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 0 {
+			return 0
+		}
+		return time.Duration(n) * time.Second
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // daemonHint rewraps a connection-refused failure with an actionable
 // message — by far the most common client-mode error is that no daemon
 // is listening where -server points.
@@ -84,6 +107,11 @@ func retryable(code int) bool {
 // into out, turning non-2xx responses into errors carrying the server's
 // message.
 func callJSON(method, url string, body, out any) error {
+	return callJSONHeader(method, url, nil, body, out)
+}
+
+// callJSONHeader is callJSON with extra request headers (e.g. X-Tenant).
+func callJSONHeader(method, url string, hdr map[string]string, body, out any) error {
 	var buf []byte
 	if body != nil {
 		var err error
@@ -94,7 +122,7 @@ func callJSON(method, url string, body, out any) error {
 	backoff := retryBase
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		code, retryAfter, err := callJSONOnce(method, url, buf, out)
+		code, retryAfter, err := callJSONOnce(method, url, hdr, buf, out)
 		if err == nil {
 			return nil
 		}
@@ -118,7 +146,7 @@ func callJSON(method, url string, body, out any) error {
 // callJSONOnce performs a single attempt. It returns the HTTP status code
 // (0 when the request never got a response) and, for 429s, the parsed
 // Retry-After duration.
-func callJSONOnce(method, url string, body []byte, out any) (code int, retryAfter time.Duration, err error) {
+func callJSONOnce(method, url string, hdr map[string]string, body []byte, out any) (code int, retryAfter time.Duration, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -130,17 +158,16 @@ func callJSONOnce(method, url string, body []byte, out any) (code int, retryAfte
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			if n, perr := strconv.Atoi(s); perr == nil && n >= 0 {
-				retryAfter = time.Duration(n) * time.Second
-			}
-		}
+		retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		var ae apiError
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
@@ -228,11 +255,7 @@ func streamEventsOnce(server, id string, after int) (state string, last, code in
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			if n, perr := strconv.Atoi(s); perr == nil && n >= 0 {
-				retryAfter = time.Duration(n) * time.Second
-			}
-		}
+		retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		var ae apiError
 		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
@@ -283,6 +306,7 @@ func cmdSubmit(args []string) error {
 	fakeRouters := fs.Int("fake-routers", 0, "add N fake routers (scale obfuscation)")
 	parallelism := fs.Int("parallelism", 0, "simulation worker pool size on the daemon (0 = daemon default)")
 	base := fs.String("base", "", `incremental resubmission: base job ID, or "auto" to discover one by config overlap`)
+	tenant := fs.String("tenant", "", "tenant name sent as X-Tenant (empty = the daemon's default tenant)")
 	wait := fs.Bool("wait", false, "stream progress and wait for the job to finish")
 	out := fs.String("out", "", "with -wait: write the anonymized configs to this directory")
 	verify := fs.Bool("verify", false, "with -wait: locally verify the result against the input")
@@ -311,8 +335,12 @@ func cmdSubmit(args []string) error {
 	if *base != "" {
 		req["base_job"] = *base
 	}
+	var hdr map[string]string
+	if *tenant != "" {
+		hdr = map[string]string{"X-Tenant": *tenant}
+	}
 	var st jobStatus
-	if err := callJSON("POST", *server+"/v1/jobs", req, &st); err != nil {
+	if err := callJSONHeader("POST", *server+"/v1/jobs", hdr, req, &st); err != nil {
 		return daemonHint(*server, err)
 	}
 	fmt.Printf("job %s %s (%d devices)\n", st.ID, st.State, len(configs))
@@ -460,11 +488,7 @@ func postNDJSON(url string, body []byte) (*http.Response, error) {
 			code = resp.StatusCode
 			// Honor the daemon's Retry-After (sent with queue-full 429s)
 			// over the fixed exponential schedule, like callJSON does.
-			if s := resp.Header.Get("Retry-After"); s != "" {
-				if n, perr := strconv.Atoi(s); perr == nil && n >= 0 {
-					retryAfter = time.Duration(n) * time.Second
-				}
-			}
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 			resp.Body.Close()
 			var ae apiError

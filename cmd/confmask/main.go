@@ -79,7 +79,7 @@ subcommands:
   inspect   -in <dir>
   trace     -in <dir> -src <host> -dst <host>
   routes    -in <dir> -router <name>
-  submit    -server <url> (-in <dir> | -net <name>) [-kr N] [-kh N] [-seed N] [-wait] [-out <dir>] [-verify]
+  submit    -server <url> (-in <dir> | -net <name>) [-kr N] [-kh N] [-seed N] [-tenant T] [-wait] [-out <dir>] [-verify]
   status    -server <url> -id <job> [-events]
   query     -server <url> -id <job> (-file <batch.json> | -kind K -src S -dst D [-via V] [-fail-node N] [-fail-link "a<->b"]) [-json]
   cancel    -server <url> -id <job>

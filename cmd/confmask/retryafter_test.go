@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"0", 0},
+		{"1", time.Second},
+		{"120", 2 * time.Minute},
+		{"-5", 0},   // negative seconds are invalid → no hint
+		{"", 0},     // absent header
+		{"1.5", 0},  // delta-seconds is an integer; fractions are garbage
+		{"  3", 0},  // RFC 9110 delta-seconds has no whitespace
+		{"soon", 0}, // garbage → fall back to computed backoff
+		{"Mon, not a date", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	// A future IMF-fixdate parses to roughly the interval until it.
+	future := time.Now().Add(90 * time.Second).UTC().Format(time.RFC1123)
+	// http.ParseTime wants "GMT", which RFC1123 renders as "UTC".
+	future = future[:len(future)-3] + "GMT"
+	d := parseRetryAfter(future)
+	if d < 80*time.Second || d > 90*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want ~90s", future, d)
+	}
+
+	// A past date means "retry now": no wait, not a negative one.
+	past := "Mon, 02 Jan 2006 15:04:05 GMT"
+	if d := parseRetryAfter(past); d != 0 {
+		t.Errorf("parseRetryAfter(past) = %v, want 0", d)
+	}
+
+	// The obsolete RFC 850 and asctime formats are accepted too.
+	asctime := time.Now().Add(60 * time.Second).UTC().Format(time.ANSIC)
+	d = parseRetryAfter(asctime)
+	if d < 50*time.Second || d > 60*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want ~60s", asctime, d)
+	}
+}

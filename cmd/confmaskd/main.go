@@ -7,12 +7,22 @@
 //
 //	confmaskd [-addr :8619] [-workers N] [-queue N] [-job-timeout 15m]
 //	          [-data-dir DIR] [-pprof-addr 127.0.0.1:6060]
+//	          [-node-id NAME] [-lease-ttl 15s] [-heartbeat 5s]
+//	          [-tenant-quota N] [-tenant-rate R] [-tenant-burst N]
 //
 // With -data-dir the daemon is crash-safe: submissions and job events are
 // journaled, stage checkpoints are persisted, and a restart against the
 // same directory replays the journal — finished jobs stay queryable,
 // unfinished jobs re-enqueue and resume from their last checkpoint with
 // results byte-identical to an uninterrupted run.
+//
+// Several daemons may share one -data-dir to form a worker fleet: each
+// claims jobs under a fenced lease (-node-id, -lease-ttl, -heartbeat),
+// a coordinator loop requeues jobs whose owner died, and stale owners
+// are fenced off the journal. Multi-tenant fairness rides on the
+// X-Tenant submit header: per-tenant queues drained by deficit-weighted
+// round-robin, -tenant-quota concurrent jobs per tenant, and a
+// -tenant-rate/-tenant-burst token bucket answering 429 + Retry-After.
 //
 // Endpoints:
 //
@@ -62,6 +72,12 @@ func main() {
 	maxQueryBatch := flag.Int("max-query-batch", 4096, "max predicates per verification query batch")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-predicate evaluation budget on the query endpoint")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled; bind to localhost)")
+	nodeID := flag.String("node-id", "", "worker identity for lease ownership in a shared data dir (empty = hostname; must differ per daemon on one host)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "job lease duration; a worker silent this long loses its jobs to the fleet")
+	heartbeat := flag.Duration("heartbeat", 0, "lease renewal interval for running jobs (0 = lease-ttl/3)")
+	tenantQuota := flag.Int("tenant-quota", 0, "max concurrently running jobs per tenant (0 = unlimited)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant submit rate limit in jobs/sec, token bucket (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant submit burst size (0 = derived from -tenant-rate)")
 	faultSpec := flag.String("fault", "", "fault injection spec for chaos testing, e.g. 'service.journal.sync=drop,worker.run=panic@2' (testing only)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -86,6 +102,12 @@ func main() {
 		MaxRestarts:   *maxRestarts,
 		MaxQueryBatch: *maxQueryBatch,
 		QueryTimeout:  *queryTimeout,
+		NodeID:        *nodeID,
+		LeaseTTL:      *leaseTTL,
+		Heartbeat:     *heartbeat,
+		TenantQuota:   *tenantQuota,
+		TenantRate:    *tenantRate,
+		TenantBurst:   float64(*tenantBurst),
 	})
 	if err != nil {
 		log.Fatalf("open service: %v", err)
@@ -123,8 +145,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("confmaskd %s listening on %s (%d workers, queue %d, job timeout %v, data dir %q)",
-			version.String(), ln.Addr(), *workers, *queue, *jobTimeout, *dataDir)
+		log.Printf("confmaskd %s listening on %s (node %s, %d workers, queue %d, job timeout %v, data dir %q)",
+			version.String(), ln.Addr(), svc.NodeID(), *workers, *queue, *jobTimeout, *dataDir)
 		errc <- httpSrv.Serve(ln)
 	}()
 

@@ -166,16 +166,37 @@ func (d *daemon) waitDone(t *testing.T, id string, timeout time.Duration) wireSt
 	return wireStatus{}
 }
 
-func TestSIGKILLRecovery(t *testing.T) {
-	if testing.Short() {
-		t.Skip("spawns real daemon processes")
-	}
+// buildDaemon compiles the confmaskd binary into a temp dir once per call.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
 	bin := filepath.Join(t.TempDir(), "confmaskd")
 	build := exec.Command("go", "build", "-o", bin, ".")
 	build.Env = os.Environ()
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("build confmaskd: %v\n%s", err, out)
 	}
+	return bin
+}
+
+func (d *daemon) metrics(t *testing.T) map[string]any {
+	t.Helper()
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	bin := buildDaemon(t)
 	dataDir := t.TempDir()
 
 	configs, err := confmask.GenerateExample("Enterprise")
@@ -280,5 +301,84 @@ func TestSIGKILLRecovery(t *testing.T) {
 		if got[name] != text {
 			t.Fatalf("re-replayed result: config %s differs", name)
 		}
+	}
+}
+
+// TestTwoNodeSIGKILL is the worker-fleet acceptance test: two live daemons
+// share one -data-dir with distinct node identities and short leases. The
+// node running a job is SIGKILLed mid-equivalence; the survivor's
+// coordinator must notice the expired lease within the TTL, requeue the
+// job, claim a higher epoch, and finish it byte-identical to an
+// uninterrupted run — with no restart of either process.
+func TestTwoNodeSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+
+	configs, err := confmask.GenerateExample("Enterprise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := confmask.Options{KR: 6, KH: 3, NoiseP: 0.5, Seed: 2001}
+	want, _, err := confmask.Anonymize(configs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node A gets the job and a delay fault to hold the kill window open;
+	// node B idles with the same short lease parameters, rescanning every
+	// heartbeat. Distinct -node-id values are what let two daemons on one
+	// host tell their leases apart.
+	fleet := []string{"-workers", "1", "-data-dir", dataDir, "-lease-ttl", "1s", "-heartbeat", "200ms"}
+	dA := startDaemon(t, bin, append(fleet,
+		"-node-id", "node-a",
+		"-fault", "anonymize.stage.equivalence=delay:300ms",
+	)...)
+	dB := startDaemon(t, bin, append(fleet, "-node-id", "node-b")...)
+
+	st := dA.submit(t, configs, opts)
+
+	// Wait until the job is visibly mid-equivalence (topology checkpoint on
+	// disk, lease held by node-a), then kill node A cold.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		s, err := dA.status(t, st.ID)
+		if err == nil && s.State == "running" && s.Stage == "equivalence" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached equivalence on node A")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	dA.kill9(t)
+
+	// Node B takes over after the lease expires: same job ID, one more
+	// start, resumed from node A's checkpoint.
+	final := dB.waitDone(t, st.ID, 2*time.Minute)
+	if final.Restarts != 1 {
+		t.Errorf("taken-over job restarts = %d, want 1", final.Restarts)
+	}
+	got := dB.result(t, st.ID)
+	if len(got) != len(want) {
+		t.Fatalf("takeover result has %d configs, want %d", len(got), len(want))
+	}
+	for name, text := range want {
+		if got[name] != text {
+			t.Fatalf("config %s differs from uninterrupted run after takeover", name)
+		}
+	}
+
+	m := dB.metrics(t)
+	for key, min := range map[string]float64{"leases_expired_total": 1, "jobs_requeued_total": 1} {
+		v, ok := m[key].(float64)
+		if !ok || v < min {
+			t.Errorf("survivor metric %s = %v, want >= %v", key, m[key], min)
+		}
+	}
+	if m["node_id"] != "node-b" {
+		t.Errorf("survivor node_id = %v, want node-b", m["node_id"])
 	}
 }

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-tenant token bucket for submit admission control.
+// Each tenant's bucket refills at rate tokens per second up to burst; a
+// submission spends one token, and a tenant with an empty bucket is told
+// how long until the next token exists (the service maps that to 429 +
+// Retry-After).
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter refilling rate tokens/second per tenant
+// with the given burst capacity. burst is clamped to at least 1 so a
+// positive rate always admits something.
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token from the tenant's bucket. When the bucket is
+// empty it returns false and the duration until one token will have
+// refilled — the Retry-After hint. The caller passes now explicitly so
+// tests drive the clock deterministically.
+func (r *RateLimiter) Allow(tenant string, now time.Time) (bool, time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: r.burst, last: now}
+		r.buckets[tenant] = b
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(r.burst, b.tokens+elapsed*r.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if r.rate <= 0 {
+		// Zero refill with an empty bucket: never admissible again. The
+		// service treats rate <= 0 as "unlimited" and skips the limiter,
+		// so this is a defensive answer, not a reachable steady state.
+		return false, time.Hour
+	}
+	wait := time.Duration((1 - b.tokens) / r.rate * float64(time.Second))
+	if wait < time.Second {
+		// Retry-After is whole seconds on the wire; rounding up keeps the
+		// client from retrying a hair early and eating another 429.
+		wait = time.Second
+	}
+	return false, wait
+}

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// SchedOptions configures a Scheduler.
+type SchedOptions struct {
+	// Capacity bounds the total number of queued items across all tenants;
+	// Push returns false at the bound (the service maps that to 429).
+	// <= 0 means unbounded.
+	Capacity int
+	// Quantum is the deficit added to a tenant per round-robin visit, in
+	// cost units. A tenant dispatches items while its accumulated deficit
+	// covers the head item's cost, so the long-run share of each tenant is
+	// proportional to its quantum regardless of item sizes. <= 0 defaults
+	// to 1.
+	Quantum int
+	// Quota caps how many items per tenant may be dispatched-but-not-Done
+	// at once (per-tenant running-job quota on this node). <= 0 means
+	// unlimited.
+	Quota int
+}
+
+// Scheduler is a deficit-weighted round-robin dispatcher over per-tenant
+// FIFO queues. Producers Push items with a cost; consumers block in Next
+// until an item is dispatchable, and call Done when they finish it so
+// per-tenant quotas free up. A tenant flooding the queue cannot starve the
+// others: each visit grants one quantum of deficit, and dispatch stops the
+// moment the head item costs more than the tenant has saved up.
+type Scheduler[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	opts   SchedOptions
+	queues map[string]*tenantQueue[T]
+	// ring holds the round-robin visit order: tenants are appended when
+	// their queue becomes non-empty and removed when it drains.
+	ring   []string
+	cursor int
+	// visiting marks that the cursor tenant has already been granted its
+	// quantum for the current visit: a tenant mid-burst across several
+	// Next calls must not earn another quantum per call.
+	visiting bool
+	queued   int
+	closed   bool
+}
+
+type schedItem[T any] struct {
+	v    T
+	cost int
+}
+
+type tenantQueue[T any] struct {
+	items   []schedItem[T]
+	deficit int
+	running int
+}
+
+// NewScheduler builds a scheduler with the given options.
+func NewScheduler[T any](opts SchedOptions) *Scheduler[T] {
+	if opts.Quantum <= 0 {
+		opts.Quantum = 1
+	}
+	s := &Scheduler[T]{opts: opts, queues: make(map[string]*tenantQueue[T])}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Push enqueues an item for a tenant. It returns false when the scheduler
+// is at capacity or closed; the item is not queued in either case.
+func (s *Scheduler[T]) Push(tenant string, v T, cost int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || (s.opts.Capacity > 0 && s.queued >= s.opts.Capacity) {
+		return false
+	}
+	s.pushLocked(tenant, v, cost)
+	return true
+}
+
+// PushForce enqueues an item regardless of capacity. Recovery paths —
+// journal replay, coordinator requeue — use it: a job that already exists
+// durably must never be dropped for backpressure. Returns false only when
+// the scheduler is closed.
+func (s *Scheduler[T]) PushForce(tenant string, v T, cost int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.pushLocked(tenant, v, cost)
+	return true
+}
+
+func (s *Scheduler[T]) pushLocked(tenant string, v T, cost int) {
+	if cost < 1 {
+		cost = 1
+	}
+	q := s.queues[tenant]
+	if q == nil {
+		q = &tenantQueue[T]{}
+		s.queues[tenant] = q
+	}
+	if len(q.items) == 0 {
+		s.ring = append(s.ring, tenant)
+	}
+	q.items = append(q.items, schedItem[T]{v: v, cost: cost})
+	s.queued++
+	s.cond.Broadcast()
+}
+
+// Next blocks until an item is dispatchable and returns it with its
+// tenant. ok is false the moment the scheduler is closed — queued items
+// are deliberately not dispatched after Close, so a shutting-down worker
+// pool stops immediately and the owner drains the queues with DrainAll.
+func (s *Scheduler[T]) Next() (v T, tenant string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			var zero T
+			return zero, "", false
+		}
+		if v, tenant, ok := s.nextLocked(); ok {
+			return v, tenant, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// nextLocked runs the DRR sweep: starting at the cursor, visit tenants in
+// ring order, granting one quantum per visit (not per call — a tenant
+// bursting across several Next calls keeps its single grant), and dispatch
+// the head when the saved deficit covers its cost. Deficit-short tenants
+// keep their savings and earn another quantum next lap, so any queued item
+// dispatches after finitely many laps; the sweep returns false only when
+// the ring is empty or a full lap found every tenant quota-blocked — the
+// states a Push or Done can change.
+func (s *Scheduler[T]) nextLocked() (T, string, bool) {
+	var zero T
+	for {
+		if len(s.ring) == 0 {
+			return zero, "", false
+		}
+		grantable := false
+		for lap := 0; lap < len(s.ring); lap++ {
+			if s.cursor >= len(s.ring) {
+				s.cursor = 0
+			}
+			tenant := s.ring[s.cursor]
+			q := s.queues[tenant]
+			if s.opts.Quota > 0 && q.running >= s.opts.Quota {
+				// Quota-blocked tenants are skipped without earning
+				// deficit: banking quantum while blocked would let a
+				// tenant burst far past its fair share the moment a slot
+				// frees.
+				s.endVisitLocked()
+				continue
+			}
+			grantable = true
+			if !s.visiting {
+				q.deficit += s.opts.Quantum
+				s.visiting = true
+			}
+			if q.deficit >= q.items[0].cost {
+				item := q.items[0]
+				q.items = q.items[1:]
+				q.deficit -= item.cost
+				q.running++
+				s.queued--
+				if len(q.items) == 0 {
+					// Classic DRR: an emptied queue forfeits its saved
+					// deficit and leaves the ring until it has items again.
+					q.deficit = 0
+					s.ring = append(s.ring[:s.cursor], s.ring[s.cursor+1:]...)
+					s.visiting = false
+				} else if q.deficit < q.items[0].cost {
+					// The visit's deficit is spent; the next call moves on.
+					s.endVisitLocked()
+				}
+				return item.v, tenant, true
+			}
+			// Deficit does not cover the head item yet; the savings carry
+			// to the next lap, and the visit moves on.
+			s.endVisitLocked()
+		}
+		if !grantable {
+			return zero, "", false
+		}
+	}
+}
+
+func (s *Scheduler[T]) endVisitLocked() {
+	s.visiting = false
+	s.cursor++
+}
+
+// Done releases one unit of a tenant's running quota.
+func (s *Scheduler[T]) Done(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.queues[tenant]; q != nil && q.running > 0 {
+		q.running--
+		s.cond.Broadcast()
+	}
+}
+
+// Close stops dispatch: blocked Next calls return ok=false once nothing is
+// dispatchable, and further Push calls are refused.
+func (s *Scheduler[T]) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}
+
+// DrainAll removes and returns every queued item (any tenant order), for
+// shutdown paths that journal still-queued jobs as requeued.
+func (s *Scheduler[T]) DrainAll() []T {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []T
+	tenants := make([]string, 0, len(s.queues))
+	for t := range s.queues {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		q := s.queues[t]
+		for _, it := range q.items {
+			out = append(out, it.v)
+		}
+		q.items = nil
+		q.deficit = 0
+	}
+	s.ring = nil
+	s.cursor = 0
+	s.visiting = false
+	s.queued = 0
+	return out
+}
+
+// Depths returns the queued-item count per tenant (tenants with empty
+// queues omitted), for metrics gauges.
+func (s *Scheduler[T]) Depths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int)
+	for t, q := range s.queues {
+		if len(q.items) > 0 {
+			out[t] = len(q.items)
+		}
+	}
+	return out
+}
+
+// Len returns the total number of queued items.
+func (s *Scheduler[T]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// drain pulls n items synchronously; every item must already be
+// dispatchable (the test fails via timeout otherwise).
+func drain(t *testing.T, s *Scheduler[string], n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	done := make(chan string)
+	for i := 0; i < n; i++ {
+		go func() {
+			v, _, ok := s.Next()
+			if !ok {
+				v = "<closed>"
+			}
+			done <- v
+		}()
+		select {
+		case v := <-done:
+			out = append(out, v)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("Next blocked after %d items: %v", i, out)
+		}
+	}
+	return out
+}
+
+func TestSchedDRRInterleavesFloodedTenant(t *testing.T) {
+	// Tenant A floods four unit-cost jobs before tenant B submits one.
+	// With quantum == cost, DRR must dispatch B within the first two
+	// slots instead of letting A's backlog run first.
+	s := NewScheduler[string](SchedOptions{Quantum: 1})
+	for i := 0; i < 4; i++ {
+		s.Push("a", "a"+string(rune('1'+i)), 1)
+	}
+	s.Push("b", "b1", 1)
+	order := drain(t, s, 5)
+	posB := -1
+	for i, v := range order {
+		if v == "b1" {
+			posB = i
+		}
+	}
+	if posB < 0 || posB > 1 {
+		t.Fatalf("b1 dispatched at position %d in %v, want within first two", posB, order)
+	}
+}
+
+func TestSchedDeficitAccountsForCost(t *testing.T) {
+	// A's jobs cost 4 each, B's cost 1 each, quantum 1: over one full
+	// cycle B must dispatch ~4 jobs per A job — byte share, not job
+	// share, is what DRR equalizes.
+	s := NewScheduler[string](SchedOptions{Quantum: 1})
+	for i := 0; i < 2; i++ {
+		s.Push("a", "A", 4)
+	}
+	for i := 0; i < 8; i++ {
+		s.Push("b", "B", 1)
+	}
+	order := drain(t, s, 10)
+	// Count B dispatches before the first A dispatch: A needs 4 laps of
+	// quantum before its head is affordable, and B dispatches each lap.
+	bBefore := 0
+	for _, v := range order {
+		if v == "A" {
+			break
+		}
+		bBefore++
+	}
+	if bBefore < 3 {
+		t.Fatalf("only %d B jobs before first A in %v, want >= 3", bBefore, order)
+	}
+}
+
+func TestSchedQuotaBlocksTenant(t *testing.T) {
+	s := NewScheduler[string](SchedOptions{Quantum: 1, Quota: 1})
+	s.Push("a", "a1", 1)
+	s.Push("a", "a2", 1)
+	s.Push("b", "b1", 1)
+
+	first := drain(t, s, 2)
+	// a1 dispatches, then a is quota-blocked: the second item must be b1.
+	if first[0] != "a1" || first[1] != "b1" {
+		t.Fatalf("order = %v, want [a1 b1]", first)
+	}
+
+	// a2 is not dispatchable until a's slot frees.
+	got := make(chan string, 1)
+	go func() {
+		v, _, _ := s.Next()
+		got <- v
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("dispatched %q while tenant a over quota", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.Done("a")
+	select {
+	case v := <-got:
+		if v != "a2" {
+			t.Fatalf("after Done got %q, want a2", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next still blocked after Done")
+	}
+}
+
+func TestSchedCapacity(t *testing.T) {
+	s := NewScheduler[string](SchedOptions{Capacity: 2})
+	if !s.Push("a", "a1", 1) || !s.Push("b", "b1", 1) {
+		t.Fatal("pushes under capacity refused")
+	}
+	if s.Push("a", "a2", 1) {
+		t.Fatal("push over capacity accepted")
+	}
+	if !s.PushForce("a", "a2", 1) {
+		t.Fatal("PushForce refused while open")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if d := s.Depths(); d["a"] != 2 || d["b"] != 1 {
+		t.Fatalf("Depths = %v", d)
+	}
+}
+
+func TestSchedCloseUnblocksNext(t *testing.T) {
+	s := NewScheduler[string](SchedOptions{})
+	done := make(chan bool)
+	go func() {
+		_, _, ok := s.Next()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned ok=true from closed empty scheduler")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not unblock on Close")
+	}
+	if s.Push("a", "x", 1) || s.PushForce("a", "x", 1) {
+		t.Fatal("push accepted after Close")
+	}
+}
+
+func TestSchedCloseStopsDispatch(t *testing.T) {
+	// Close stops dispatch even with items queued: a shutting-down worker
+	// pool must not start new jobs. The owner recovers them via DrainAll.
+	s := NewScheduler[string](SchedOptions{})
+	s.Push("a", "a1", 1)
+	s.Close()
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("closed scheduler dispatched")
+	}
+	if got := s.DrainAll(); len(got) != 1 || got[0] != "a1" {
+		t.Fatalf("DrainAll after Close = %v, want [a1]", got)
+	}
+}
+
+func TestSchedDrainAll(t *testing.T) {
+	s := NewScheduler[string](SchedOptions{})
+	s.Push("b", "b1", 1)
+	s.Push("a", "a1", 1)
+	s.Push("a", "a2", 1)
+	got := s.DrainAll()
+	if len(got) != 3 {
+		t.Fatalf("DrainAll = %v, want 3 items", got)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after drain = %d", s.Len())
+	}
+	if len(s.DrainAll()) != 0 {
+		t.Fatal("second DrainAll returned items")
+	}
+}
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	r := NewRateLimiter(1, 2) // 1 token/s, burst 2
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := r.Allow("a", now); !ok {
+			t.Fatalf("burst submit %d denied", i)
+		}
+	}
+	ok, retry := r.Allow("a", now)
+	if ok {
+		t.Fatal("over-burst submit admitted")
+	}
+	if retry < time.Second {
+		t.Fatalf("Retry-After = %v, want >= 1s", retry)
+	}
+
+	// Tenants are independent buckets.
+	if ok, _ := r.Allow("b", now); !ok {
+		t.Fatal("fresh tenant denied")
+	}
+
+	// After the refill interval a token exists again.
+	if ok, _ := r.Allow("a", now.Add(retry)); !ok {
+		t.Fatal("submit after Retry-After still denied")
+	}
+}
+
+func TestRateLimiterRetryAfterWholeSeconds(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	r := NewRateLimiter(10, 1) // refill in 100ms, but hint rounds up to 1s
+	if ok, _ := r.Allow("a", now); !ok {
+		t.Fatal("first submit denied")
+	}
+	ok, retry := r.Allow("a", now)
+	if ok || retry != time.Second {
+		t.Fatalf("Allow = %v/%v, want denied with 1s hint", ok, retry)
+	}
+}

@@ -67,6 +67,11 @@ type Request struct {
 	// naming the reason. Deliberately excluded from the dedup hash: the
 	// base only changes how the result is computed, never what it is.
 	BaseJob string `json:"base_job,omitempty"`
+	// Tenant is the submitting tenant, taken from the X-Tenant header
+	// (never from the request body — the server overwrites whatever the
+	// client put here). Persisted in the journal's submitted record so a
+	// replayed job rejoins its tenant's queue.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // manifestOf content-addresses each config file of a bundle: file label →
@@ -150,6 +155,13 @@ type Event struct {
 	// pipeline stages the seed lets this job skip.
 	BaseJob      string   `json:"base_job,omitempty"`
 	ReusedStages []string `json:"reused_stages,omitempty"`
+	// Tenant, Owner, and LeaseEpoch identify whose job this is and which
+	// node wrote the event under which fencing epoch. Events written
+	// before any claim carry epoch 0; replay discards events whose epoch
+	// predates a later claim (a fenced-out owner's late writes).
+	Tenant     string `json:"tenant,omitempty"`
+	Owner      string `json:"owner,omitempty"`
+	LeaseEpoch int    `json:"lease_epoch,omitempty"`
 }
 
 // Status is the GET /v1/jobs/{id} document: a point-in-time snapshot of a
@@ -168,6 +180,11 @@ type Status struct {
 	// Restarts counts how many daemon starts have executed this job before
 	// the current one (0 for a job born in this process).
 	Restarts int `json:"restarts,omitempty"`
+	// Tenant is the submitting tenant; Owner and LeaseEpoch name the node
+	// holding (or last holding) the job's lease and its fencing epoch.
+	Tenant     string `json:"tenant,omitempty"`
+	Owner      string `json:"owner,omitempty"`
+	LeaseEpoch int    `json:"lease_epoch,omitempty"`
 	// BaseJob and ReusedStages identify the completed job whose checkpoint
 	// seeded this one and the stages that seed skipped (incremental
 	// resubmission; absent for full runs).
@@ -234,6 +251,26 @@ type job struct {
 	// clients can tell "lost" from "never existed". Immutable after
 	// replay.
 	tombstone bool
+	// tenant routes the job through its tenant's scheduler queue; never
+	// empty (absent X-Tenant maps to "default").
+	tenant string
+	// owner and leaseEpoch mirror the job's current (or last known) lease:
+	// every event appended while they are set carries them, which is what
+	// lets replay fence out a stale owner's late writes.
+	owner      string
+	leaseEpoch int
+	// queued marks the job as sitting in the scheduler, so the coordinator
+	// rescan never double-enqueues it.
+	queued bool
+}
+
+// normalizeTenant maps the empty tenant (pre-fleet journals, direct
+// construction) to the default tenant.
+func normalizeTenant(t string) string {
+	if t == "" {
+		return DefaultTenant
+	}
+	return t
 }
 
 func newJob(id string, req *Request, now time.Time) *job {
@@ -246,6 +283,7 @@ func newJob(id string, req *Request, now time.Time) *job {
 		created:  now,
 		changed:  make(chan struct{}),
 		manifest: manifestOf(req.Configs),
+		tenant:   normalizeTenant(req.Tenant),
 	}
 	j.appendEventLocked(Event{State: StateQueued, Message: "queued", Time: now})
 	return j
@@ -260,6 +298,14 @@ func (j *job) appendEventLocked(e Event) {
 	e.Seq = len(j.events) + 1
 	if e.Time.IsZero() {
 		e.Time = time.Now()
+	}
+	// Stamp tenancy and ownership: the lease epoch on the journaled copy
+	// is what lets replay discard a fenced-out owner's late writes.
+	if e.Tenant == "" {
+		e.Tenant = j.tenant
+	}
+	if e.Owner == "" && j.owner != "" {
+		e.Owner, e.LeaseEpoch = j.owner, j.leaseEpoch
 	}
 	j.events = append(j.events, e)
 	if j.jw != nil {
@@ -318,10 +364,15 @@ func newJobFromReplay(rj *replayedJob) *job {
 		restarts: rj.starts,
 		// A corrupt journal with a still-readable result can serve its
 		// output; anything else corrupt cannot, ever again.
-		tombstone: rj.corrupt && rj.result == nil,
+		tombstone:  rj.corrupt && rj.result == nil,
+		owner:      rj.owner,
+		leaseEpoch: rj.leaseEpoch,
 	}
 	if rj.req != nil {
 		j.devices = len(rj.req.Configs)
+		j.tenant = normalizeTenant(rj.req.Tenant)
+	} else {
+		j.tenant = DefaultTenant
 	}
 	if j.hash == "" && rj.req != nil {
 		j.hash = rj.req.hash()
@@ -352,8 +403,16 @@ func (j *job) reattachJournal(jw *jobJournal) {
 	j.mu.Unlock()
 }
 
+// journalHandle returns the attached journal, nil when none.
+func (j *job) journalHandle() *jobJournal {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.jw
+}
+
 // markRecovered returns a replayed job to the queued state and records the
-// recovery on its (already reattached) journal.
+// recovery on its (already reattached) journal. Any prior lease stamp is
+// void: ownership restarts with the next claim.
 func (j *job) markRecovered() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -362,11 +421,78 @@ func (j *job) markRecovered() {
 	j.cancelRequested = false
 	j.cancel = nil
 	j.draining = false
+	j.owner, j.leaseEpoch = "", 0
 	msg := fmt.Sprintf("recovered: requeued by daemon restart %d", j.restarts)
 	if j.resume != nil {
 		msg += ", resuming after " + j.resume.Stage + " checkpoint"
 	}
 	j.appendEventLocked(Event{State: StateQueued, Message: msg})
+}
+
+// setLease stamps the job with its claimed lease; every event from here to
+// the terminal one carries the owner and fencing epoch.
+func (j *job) setLease(owner string, epoch int) {
+	j.mu.Lock()
+	j.owner, j.leaseEpoch = owner, epoch
+	j.mu.Unlock()
+}
+
+// setInQueue flags whether the job sits in the scheduler.
+func (j *job) setInQueue(v bool) {
+	j.mu.Lock()
+	j.queued = v
+	j.mu.Unlock()
+}
+
+// inQueue reports whether the job sits in the scheduler.
+func (j *job) inQueue() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.queued
+}
+
+// adoptReplay refreshes a known job in place from a fresh journal replay —
+// the coordinator path for jobs another node progressed or finished. The
+// in-place update (same *job, same changed-channel protocol) keeps local
+// event streamers attached across the adoption. Running or locally
+// terminal jobs are left untouched: local truth wins for jobs this node
+// owns, and requeued is the one terminal state adoption may overwrite.
+func (j *job) adoptReplay(rj *replayedJob) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateRunning || j.state == StateDraining {
+		return
+	}
+	if j.state.Terminal() && j.state != StateRequeued && !rj.state.Terminal() {
+		return
+	}
+	if len(rj.events) < len(j.events) {
+		// The disk replay is behind what this node already saw (a racing
+		// append); adopting it would rewind streamers.
+		return
+	}
+	j.state = rj.state
+	j.stage, j.iteration = rj.stage, rj.iter
+	j.events = rj.events
+	j.errMsg = rj.errMsg
+	j.restarts = rj.starts
+	j.owner, j.leaseEpoch = rj.owner, rj.leaseEpoch
+	if rj.checkpoint != nil {
+		j.resume, j.lastCP = rj.checkpoint, rj.checkpoint
+	}
+	if rj.result != nil {
+		j.result, j.report = rj.result, rj.report
+	}
+	for _, e := range rj.events {
+		switch {
+		case e.Message == "started" && j.started.IsZero():
+			j.started = e.Time
+		case e.State.Terminal():
+			j.finished = e.Time
+		}
+	}
+	close(j.changed)
+	j.changed = make(chan struct{})
 }
 
 // noteDraining flags the job as being stopped by a graceful drain and
@@ -540,16 +666,19 @@ func (j *job) status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:        j.id,
-		State:     j.state,
-		InputHash: j.hash,
-		Devices:   j.devices,
-		Stage:     j.stage,
-		Iteration: j.iteration,
-		Created:   j.created,
-		Error:     j.errMsg,
-		Report:    j.report,
-		Restarts:  j.restarts,
+		ID:         j.id,
+		State:      j.state,
+		InputHash:  j.hash,
+		Devices:    j.devices,
+		Stage:      j.stage,
+		Iteration:  j.iteration,
+		Created:    j.created,
+		Error:      j.errMsg,
+		Report:     j.report,
+		Restarts:   j.restarts,
+		Tenant:     j.tenant,
+		Owner:      j.owner,
+		LeaseEpoch: j.leaseEpoch,
 	}
 	st.BaseJob = j.baseJob
 	st.ReusedStages = append([]string(nil), j.reusedStages...)
@@ -577,11 +706,13 @@ func (j *job) eventsSince(seq int) ([]Event, State, <-chan struct{}) {
 	return out, j.state, j.changed
 }
 
-// store is the in-memory job index with dedup by request content hash.
+// store is the in-memory job index with dedup by (tenant, request content
+// hash) — tenants never dedup into each other's jobs, which would leak
+// one tenant's job IDs and results to another.
 type store struct {
 	mu     sync.Mutex
 	jobs   map[string]*job
-	byHash map[string]string // request hash → job ID
+	byHash map[string]string // tenant + "\x00" + request hash → job ID
 	seq    int
 }
 
@@ -589,22 +720,26 @@ func newStore() *store {
 	return &store{jobs: make(map[string]*job), byHash: make(map[string]string)}
 }
 
-// add registers a job for req, deduplicating against live jobs: when a
-// queued, running, or done job exists for the same content hash, that job
-// is returned with existing=true. Failed and cancelled jobs do not block
-// resubmission.
+// dedupKey scopes the content hash to a tenant.
+func dedupKey(tenant, hash string) string { return tenant + "\x00" + hash }
+
+// add registers a job for req, deduplicating against the tenant's live
+// jobs: when a queued, running, or done job exists for the same tenant and
+// content hash, that job is returned with existing=true. Failed and
+// cancelled jobs do not block resubmission.
 func (s *store) add(req *Request, now time.Time) (j *job, existing bool) {
 	hash := req.hash()
+	key := dedupKey(normalizeTenant(req.Tenant), hash)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if id, ok := s.byHash[hash]; ok {
+	if id, ok := s.byHash[key]; ok {
 		return s.jobs[id], true
 	}
 	s.seq++
 	id := fmt.Sprintf("j%06d-%s", s.seq, hash[:8])
 	j = newJob(id, req, now)
 	s.jobs[id] = j
-	s.byHash[hash] = id
+	s.byHash[key] = id
 	return j, false
 }
 
@@ -618,7 +753,7 @@ func (s *store) put(j *job, indexHash bool) {
 	defer s.mu.Unlock()
 	s.jobs[j.id] = j
 	if indexHash && j.hash != "" {
-		s.byHash[j.hash] = j.id
+		s.byHash[dedupKey(j.tenant, j.hash)] = j.id
 	}
 	if n := jobSeq(j.id); n > s.seq {
 		s.seq = n
@@ -638,8 +773,9 @@ func (s *store) remove(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.jobs, j.id)
-	if s.byHash[j.hash] == j.id {
-		delete(s.byHash, j.hash)
+	key := dedupKey(j.tenant, j.hash)
+	if s.byHash[key] == j.id {
+		delete(s.byHash, key)
 	}
 }
 
@@ -648,8 +784,9 @@ func (s *store) remove(j *job) {
 func (s *store) unindexHash(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.byHash[j.hash] == j.id {
-		delete(s.byHash, j.hash)
+	key := dedupKey(j.tenant, j.hash)
+	if s.byHash[key] == j.id {
+		delete(s.byHash, key)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"confmask"
+	"confmask/internal/cluster"
 	"confmask/internal/faults"
 )
 
@@ -77,7 +78,8 @@ func (p retryPolicy) do(label string, f func() error) error {
 
 // journalRecord is one NDJSON line of a job journal.
 type journalRecord struct {
-	// Type is "submitted" (first line, carries the request) or "event".
+	// Type is "submitted" (first line, carries the request), "claim" (a
+	// worker took lease ownership of the job), or "event".
 	Type string    `json:"type"`
 	Time time.Time `json:"time"`
 	// Submission fields.
@@ -90,6 +92,12 @@ type journalRecord struct {
 	Manifest map[string]string `json:"manifest,omitempty"`
 	// Event payload for Type == "event".
 	Event *Event `json:"event,omitempty"`
+	// Claim fields for Type == "claim": the owning node and its fencing
+	// token. Replay drops event records whose LeaseEpoch predates the
+	// newest claim — late writes from a fenced, possibly-frozen worker.
+	Owner    string    `json:"owner,omitempty"`
+	Epoch    int       `json:"epoch,omitempty"`
+	Deadline time.Time `json:"deadline,omitempty"`
 }
 
 // resultDoc is the persisted form of a finished job's output.
@@ -176,6 +184,14 @@ type jobJournal struct {
 	mu  sync.Mutex
 	f   *os.File
 	err error
+	// fence, when set, gates every write on lease ownership: buffered
+	// appends check the cheap local token (Valid), while fsync-boundary
+	// appends, checkpoints, and results re-read the lease from disk
+	// (Verify) — a frozen worker that lost its lease must not be able to
+	// corrupt the new owner's journal with a late durable write.
+	fence    *cluster.Handle
+	onFenced func()
+	fenced   bool
 }
 
 // Err returns the sticky failure, if any.
@@ -183,6 +199,48 @@ func (jw *jobJournal) Err() error {
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
 	return jw.err
+}
+
+// setFence attaches a lease handle to the journal. onFenced fires once,
+// the first time a write is rejected for lost ownership (metrics hook).
+func (jw *jobJournal) setFence(h *cluster.Handle, onFenced func()) {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	jw.fence = h
+	jw.onFenced = onFenced
+}
+
+// checkFenceLocked validates lease ownership before a write. Durable
+// writes re-verify against disk; buffered ones trust the local token.
+// A fence rejection is sticky: once ownership is lost every later write
+// fails too, and the run unwinds as fenced.
+func (jw *jobJournal) checkFenceLocked(durable bool) error {
+	if jw.fence == nil {
+		return nil
+	}
+	var err error
+	if durable {
+		err = jw.fence.Verify()
+	} else if !jw.fence.Valid() {
+		err = cluster.ErrFenced
+	}
+	if err == nil {
+		return nil
+	}
+	if !jw.fenced {
+		jw.fenced = true
+		if jw.onFenced != nil {
+			jw.onFenced()
+		}
+	}
+	jw.err = fmt.Errorf("journal write rejected: %w", err)
+	return jw.err
+}
+
+// appendClaim journals (fsync'd) that a lease owner took the job over.
+// Replay uses the newest claim's epoch as the fencing floor for events.
+func (jw *jobJournal) appendClaim(owner string, epoch int, deadline time.Time) error {
+	return jw.append(journalRecord{Type: "claim", Time: time.Now().UTC(), Owner: owner, Epoch: epoch, Deadline: deadline}, true)
 }
 
 // append writes one NDJSON record, fsyncing when sync is set. Failures are
@@ -196,6 +254,9 @@ func (jw *jobJournal) append(rec journalRecord, sync bool) error {
 	if jw.f == nil {
 		jw.err = errors.New("journal closed")
 		return jw.err
+	}
+	if err := jw.checkFenceLocked(sync); err != nil {
+		return err
 	}
 	buf, err := json.Marshal(rec)
 	if err != nil {
@@ -248,6 +309,12 @@ func (jw *jobJournal) syncLocked() error {
 // (temp file, fsync, rename): a crash mid-write leaves the previous
 // checkpoint intact, never a torn one.
 func (jw *jobJournal) writeCheckpoint(cp *confmask.Checkpoint) error {
+	jw.mu.Lock()
+	if err := jw.checkFenceLocked(true); err != nil {
+		jw.mu.Unlock()
+		return err
+	}
+	jw.mu.Unlock()
 	buf, err := json.Marshal(cp)
 	if err != nil {
 		return err
@@ -268,6 +335,12 @@ func (jw *jobJournal) writeCheckpoint(cp *confmask.Checkpoint) error {
 
 // writeResult persists a done job's output atomically.
 func (jw *jobJournal) writeResult(configs map[string]string, report *confmask.Report) error {
+	jw.mu.Lock()
+	if err := jw.checkFenceLocked(true); err != nil {
+		jw.mu.Unlock()
+		return err
+	}
+	jw.mu.Unlock()
 	buf, err := json.Marshal(resultDoc{Configs: configs, Report: report})
 	if err != nil {
 		return err
@@ -325,7 +398,11 @@ type replayedJob struct {
 	// starts counts "started" events: how many times some process began
 	// executing this job. The restart watchdog fails jobs whose count
 	// exceeds the cap instead of crash-looping the daemon on poison input.
-	starts     int
+	starts int
+	// owner / leaseEpoch mirror the newest claim record: which node most
+	// recently took lease ownership of this job, and its fencing token.
+	owner      string
+	leaseEpoch int
 	checkpoint *confmask.Checkpoint
 	manifest   map[string]string
 	result     map[string]string
@@ -397,11 +474,22 @@ func (jl *journal) replayOne(id string) *replayedJob {
 			rj.hash = rec.Hash
 			rj.manifest = rec.Manifest
 			rj.created = rec.Time
+		case "claim":
+			// The newest claim in file order is the current owner; O_APPEND
+			// serializes records, so file order is claim order.
+			rj.owner = rec.Owner
+			rj.leaseEpoch = rec.Epoch
 		case "event":
 			if rec.Event == nil {
 				continue
 			}
 			e := *rec.Event
+			if e.LeaseEpoch > 0 && e.LeaseEpoch < rj.leaseEpoch {
+				// A late buffered write from a fenced previous owner that
+				// slipped in after the takeover's claim record: the new
+				// owner's history is authoritative, so drop it.
+				continue
+			}
 			rj.events = append(rj.events, e)
 			rj.state = e.State
 			if e.Stage != "" {

@@ -84,6 +84,11 @@ type metrics struct {
 	StagesReused         expvar.Int // pipeline stages skipped via a base checkpoint
 	IncrementalFallbacks expvar.Int // base-job requests that fell back to a full run
 
+	LeasesExpired  expvar.Int // expired/released leases observed by the coordinator
+	FencingRejects expvar.Int // journal writes refused for lost lease ownership
+	RateLimited    expvar.Int // submits refused 429 by the per-tenant rate limiter
+	LeasesHeld     expvar.Int // gauge: leases this node currently holds
+
 	stageMu sync.Mutex
 	stages  map[string]*histogram // per-stage wall clock
 }
@@ -130,6 +135,10 @@ func (m *metrics) snapshot() map[string]any {
 		"jobs_incremental_total":      m.JobsIncremental.Value(),
 		"stages_reused_total":         m.StagesReused.Value(),
 		"incremental_fallbacks_total": m.IncrementalFallbacks.Value(),
+		"leases_expired_total":        m.LeasesExpired.Value(),
+		"fencing_rejects_total":       m.FencingRejects.Value(),
+		"rate_limited_total":          m.RateLimited.Value(),
+		"leases_held":                 m.LeasesHeld.Value(),
 		"stage_seconds":               stages,
 		// Live-heap gauge, read at render time: the number an operator
 		// watches while a thousand-router job runs. Cumulative per-stage

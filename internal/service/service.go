@@ -5,13 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"os"
+	"regexp"
 	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
 
 	"confmask"
+	"confmask/internal/cluster"
 	"confmask/internal/faults"
 )
 
@@ -62,6 +66,34 @@ type Config struct {
 	// batch; a predicate past it answers with a per-query error instead
 	// of an answer. Default 10 seconds.
 	QueryTimeout time.Duration
+
+	// NodeID identifies this server in a worker fleet sharing one DataDir.
+	// It defaults to the hostname — stable across restarts, so a restarted
+	// daemon reclaims its own leases immediately. Run more than one daemon
+	// per host against the same DataDir only with distinct explicit IDs.
+	NodeID string
+	// LeaseTTL is how long a job lease lives without a heartbeat renewal;
+	// a node silent past it loses its jobs to the fleet. Default 15s.
+	LeaseTTL time.Duration
+	// Heartbeat is the lease renewal period. Default LeaseTTL/3.
+	Heartbeat time.Duration
+	// RescanInterval is how often the coordinator loop rescans the journal
+	// root for jobs abandoned by other nodes (expired or released leases)
+	// and for jobs submitted to peers. Default = Heartbeat. Tests set it
+	// huge and drive Rescan directly.
+	RescanInterval time.Duration
+	// TenantQuota caps concurrently running jobs per tenant on this node;
+	// excess jobs wait in their tenant queue. 0 = unlimited.
+	TenantQuota int
+	// TenantRate is the per-tenant submit rate limit in jobs/second; a
+	// tenant over it gets 429 + Retry-After. 0 = unlimited.
+	TenantRate float64
+	// TenantBurst is the rate limiter's bucket size. Default
+	// max(1, ceil(TenantRate)).
+	TenantBurst float64
+	// SchedQuantum is the deficit-round-robin quantum in device units: the
+	// share each tenant earns per scheduler visit. Default 64.
+	SchedQuantum int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +121,31 @@ func (c Config) withDefaults() Config {
 	if c.QueryTimeout <= 0 {
 		c.QueryTimeout = 10 * time.Second
 	}
+	if c.NodeID == "" {
+		if host, err := os.Hostname(); err == nil && host != "" {
+			c.NodeID = host
+		} else {
+			c.NodeID = "node"
+		}
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.LeaseTTL / 3
+	}
+	if c.RescanInterval <= 0 {
+		c.RescanInterval = c.Heartbeat
+	}
+	if c.TenantBurst < 1 {
+		c.TenantBurst = math.Ceil(c.TenantRate)
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	if c.SchedQuantum <= 0 {
+		c.SchedQuantum = 64
+	}
 	return c
 }
 
@@ -99,10 +156,13 @@ type Server struct {
 	cfg     Config
 	store   *store
 	metrics *metrics
-	journal *journal // nil without a DataDir
-	queue   chan *job
+	journal *journal                // nil without a DataDir
+	leases  *cluster.Manager        // nil without a DataDir
+	limiter *cluster.RateLimiter    // nil when TenantRate is 0
+	sched   *cluster.Scheduler[*job]
 	quit    chan struct{}
 	workers sync.WaitGroup
+	coord   sync.WaitGroup
 	mux     *http.ServeMux
 	started time.Time
 
@@ -143,28 +203,30 @@ func Open(cfg Config) (*Server, error) {
 		started: time.Now(),
 		running: make(map[string]*job),
 	}
-	var backlog []*job
+	s.sched = cluster.NewScheduler[*job](cluster.SchedOptions{
+		Capacity: cfg.QueueDepth,
+		Quantum:  cfg.SchedQuantum,
+		Quota:    cfg.TenantQuota,
+	})
+	if cfg.TenantRate > 0 {
+		s.limiter = cluster.NewRateLimiter(cfg.TenantRate, cfg.TenantBurst)
+	}
 	if cfg.DataDir != "" {
 		jl, err := openJournal(cfg.DataDir, defaultRetryPolicy())
 		if err != nil {
 			return nil, err
 		}
 		s.journal = jl
-		backlog, err = s.replayJournal()
+		s.leases = cluster.NewManager(cfg.NodeID, cfg.LeaseTTL)
+		backlog, err := s.replayJournal()
 		if err != nil {
 			return nil, err
 		}
-	}
-	// The queue must absorb the whole replayed backlog without blocking
-	// startup, even when it exceeds the configured depth.
-	depth := cfg.QueueDepth
-	if len(backlog) > depth {
-		depth = len(backlog)
-	}
-	s.queue = make(chan *job, depth)
-	for _, j := range backlog {
-		s.queue <- j
-		s.metrics.QueueDepth.Add(1)
+		// Replayed jobs exist durably already: they bypass the capacity
+		// bound, which only sheds load from fresh submissions.
+		for _, j := range backlog {
+			s.enqueue(j, true)
+		}
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -179,7 +241,33 @@ func Open(cfg Config) (*Server, error) {
 		s.workers.Add(1)
 		go s.worker()
 	}
+	if s.journal != nil {
+		s.coord.Add(1)
+		go s.coordinator()
+	}
 	return s, nil
+}
+
+// NodeID returns the server's resolved worker-fleet identity.
+func (s *Server) NodeID() string { return s.cfg.NodeID }
+
+// enqueue puts a job on the scheduler. force bypasses the capacity bound
+// (replay and coordinator requeues — jobs that already exist durably must
+// never be shed). It reports whether the job was queued.
+func (s *Server) enqueue(j *job, force bool) bool {
+	j.setInQueue(true)
+	var ok bool
+	if force {
+		ok = s.sched.PushForce(j.tenant, j, j.devices)
+	} else {
+		ok = s.sched.Push(j.tenant, j, j.devices)
+	}
+	if ok {
+		s.metrics.QueueDepth.Add(1)
+	} else {
+		j.setInQueue(false)
+	}
+	return ok
 }
 
 // replayJournal rebuilds the store from the journal and returns the jobs
@@ -205,6 +293,13 @@ func (s *Server) replayJournal() ([]*job, error) {
 				s.metrics.JournalErrors.Add(1)
 			}
 		default: // queued, running, draining, requeued → run again
+			if lease, err := s.leases.Read(s.journal.jobDir(j.id)); err == nil && !s.leases.Claimable(lease) {
+				// Another node's live lease: the job is running elsewhere.
+				// Register it read-only; the coordinator requeues it here
+				// only if that lease expires or is released unfinished.
+				s.store.put(j, true)
+				continue
+			}
 			jw, err := s.journal.open(j.id)
 			if err != nil {
 				return nil, err
@@ -245,12 +340,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.shuttingDown {
 		s.shuttingDown = true
 		close(s.quit)
+		// Closing the scheduler wakes workers blocked in Next; jobs still
+		// queued stay queued and are drained below once workers are gone.
+		s.sched.Close()
 	}
 	s.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
+		s.coord.Wait()
 		close(done)
 	}()
 	var err error
@@ -273,45 +372,168 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 
-	// Workers are gone; whatever is left in the queue never ran.
+	// Workers are gone; whatever is left in the queues never ran.
+	for _, j := range s.sched.DrainAll() {
+		s.metrics.QueueDepth.Add(-1)
+		j.setInQueue(false)
+		if s.journal != nil {
+			j.noteDraining()
+			j.finish(StateRequeued, nil, nil, "", time.Now(), "", 0, 0)
+			s.metrics.JobsRequeued.Add(1)
+		} else {
+			j.requestCancel()
+			j.finish(StateCancelled, nil, nil, "server shutting down", time.Now(), "", 0, 0)
+			s.store.unindexHash(j)
+			s.metrics.JobsCancelled.Add(1)
+		}
+	}
+	s.store.closeJournals()
+	return err
+}
+
+// worker pulls jobs off the deficit-round-robin scheduler until shutdown.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		j, tenant, ok := s.sched.Next()
+		if !ok {
+			return // scheduler closed: shutting down
+		}
+		s.metrics.QueueDepth.Add(-1)
+		j.setInQueue(false)
+		s.run(j)
+		s.sched.Done(tenant)
+	}
+}
+
+// coordinator periodically rescans the journal root for work this node
+// should pick up: jobs submitted through peer nodes, jobs whose owner's
+// lease expired or was released unfinished, and jobs another node finished
+// (their local records refresh to the terminal state).
+func (s *Server) coordinator() {
+	defer s.coord.Done()
+	t := time.NewTicker(s.cfg.RescanInterval)
+	defer t.Stop()
 	for {
 		select {
-		case j := <-s.queue:
-			s.metrics.QueueDepth.Add(-1)
-			if s.journal != nil {
-				j.noteDraining()
-				j.finish(StateRequeued, nil, nil, "", time.Now(), "", 0, 0)
-				s.metrics.JobsRequeued.Add(1)
-			} else {
-				j.requestCancel()
-				j.finish(StateCancelled, nil, nil, "server shutting down", time.Now(), "", 0, 0)
-				s.store.unindexHash(j)
-				s.metrics.JobsCancelled.Add(1)
-			}
-		default:
-			s.store.closeJournals()
-			return err
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.Rescan()
 		}
 	}
 }
 
-// worker pulls jobs off the FIFO queue until shutdown.
-func (s *Server) worker() {
-	defer s.workers.Done()
-	for {
-		select {
-		case <-s.quit:
-			return
-		default:
+// Rescan runs one coordinator pass synchronously. Exported so tests (and
+// operators via future endpoints) can drive takeover deterministically
+// instead of waiting out the rescan ticker.
+func (s *Server) Rescan() {
+	if s.journal == nil || s.leases == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.shuttingDown {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	entries, err := os.ReadDir(s.journal.root)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
 		}
-		select {
-		case <-s.quit:
+		s.rescanJob(e.Name())
+	}
+}
+
+// rescanJob reconciles one job directory against this node's store.
+func (s *Server) rescanJob(id string) {
+	s.mu.Lock()
+	_, runningHere := s.running[id]
+	down := s.shuttingDown
+	s.mu.Unlock()
+	if runningHere || down {
+		return
+	}
+	j, known := s.store.get(id)
+	if known {
+		if j.isTombstone() || j.inQueue() {
 			return
-		case j := <-s.queue:
-			s.metrics.QueueDepth.Add(-1)
-			s.run(j)
+		}
+		if st := j.status(); st.State.Terminal() && st.State != StateRequeued {
+			return
 		}
 	}
+	rj := s.journal.replayOne(id)
+	if rj == nil {
+		return
+	}
+	if rj.corrupt && rj.req == nil {
+		if !known {
+			j = newJobFromReplay(rj)
+			j.state = StateFailed
+			s.store.put(j, false)
+			s.metrics.JournalErrors.Add(1)
+		}
+		return
+	}
+	if !known {
+		j = newJobFromReplay(rj)
+	}
+	if rj.state.Terminal() && rj.state != StateRequeued {
+		// Another node finished it: adopt the terminal record so status,
+		// result, and dedup answer here too.
+		if known {
+			j.adoptReplay(rj)
+		}
+		s.store.put(j, rj.state == StateDone)
+		return
+	}
+	// Non-terminal on disk and not running here: claimable means the owner
+	// crashed (expired), drained (released), or the job never ran. Requeue
+	// on this node; an unexpired foreign lease leaves it alone.
+	dir := s.journal.jobDir(id)
+	lease, err := s.leases.Read(dir)
+	if err != nil {
+		return
+	}
+	if !s.leases.Claimable(lease) {
+		if known {
+			j.adoptReplay(rj)
+		}
+		s.store.put(j, true)
+		return
+	}
+	if known {
+		j.adoptReplay(rj)
+	}
+	if j.restarts >= s.cfg.MaxRestarts {
+		if !known {
+			j.finish(StateFailed, nil, nil, fmt.Sprintf(
+				"job ran in %d daemon starts without completing (max %d); giving up",
+				j.restarts, s.cfg.MaxRestarts), time.Now(), "", 0, 0)
+			s.store.put(j, false)
+			s.metrics.JobsFailed.Add(1)
+		}
+		return
+	}
+	if expired := lease.Epoch > 0 && !lease.Released; expired {
+		s.metrics.LeasesExpired.Add(1)
+	}
+	if j.journalHandle() == nil {
+		jw, err := s.journal.open(id)
+		if err != nil {
+			return
+		}
+		j.reattachJournal(jw)
+	}
+	j.markRecovered()
+	s.store.put(j, true)
+	s.metrics.JobsRequeued.Add(1)
+	s.enqueue(j, true)
 }
 
 // panicError wraps a panic recovered at the worker boundary; the captured
@@ -330,6 +552,20 @@ type journalFailure struct{ err error }
 func (e *journalFailure) Error() string { return "journal failure: " + e.err.Error() }
 func (e *journalFailure) Unwrap() error { return e.err }
 
+// fencedError marks a cancellation caused by this node losing the job's
+// lease: a newer epoch exists, so another node owns the job now and every
+// local write is refused. The job fails locally without touching the
+// journal — the new owner's run is the authoritative one.
+type fencedError struct{ err error }
+
+func (e *fencedError) Error() string { return "lease lost: " + e.err.Error() }
+func (e *fencedError) Unwrap() error { return e.err }
+
+// isFenced reports whether an error chain bottoms out in a fencing
+// rejection, wherever it surfaced: heartbeat renewal, a journal append, a
+// checkpoint or result write.
+func isFenced(err error) bool { return err != nil && errors.Is(err, cluster.ErrFenced) }
+
 // run executes one job: per-job timeout, per-stage watchdog, progress
 // plumbed into the event stream and stage histograms, stage checkpoints
 // persisted to the journal, panics isolated to the job, and the terminal
@@ -339,12 +575,8 @@ func (s *Server) run(j *job) {
 	defer cancelTimeout()
 	ctx, cancelCause := context.WithCancelCause(tctx)
 	defer cancelCause(nil)
-	if !j.start(func() { cancelCause(context.Canceled) }, time.Now()) {
-		// Cancelled while queued.
-		s.store.unindexHash(j)
-		s.metrics.JobsCancelled.Add(1)
-		return
-	}
+	// Register as running before claiming the lease: the coordinator skips
+	// jobs in this map, so the claim window is invisible to rescans.
 	s.mu.Lock()
 	s.running[j.id] = j
 	s.mu.Unlock()
@@ -355,9 +587,74 @@ func (s *Server) run(j *job) {
 		s.mu.Unlock()
 		s.metrics.JobsRunning.Add(-1)
 	}()
+
+	// In a fleet, ownership comes first: no lease, no execution. A failed
+	// claim (another node owns the job, a claim is in flight, or fault
+	// injection refused it) leaves the job queued; a later rescan requeues
+	// it here if the owner gives it up.
+	var lease *cluster.Handle
+	if s.leases != nil {
+		h, err := s.leases.Acquire(s.journal.jobDir(j.id))
+		if err != nil {
+			return
+		}
+		lease = h
+		defer lease.Release()
+		s.metrics.LeasesHeld.Add(1)
+		defer s.metrics.LeasesHeld.Add(-1)
+		j.setLease(h.Owner(), h.Epoch())
+		// Heartbeat: renew until the job ends. A renewal failure means the
+		// lease is lost — cancel the pipeline with the fencing cause.
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		go func() {
+			t := time.NewTicker(s.cfg.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					if err := lease.Renew(); err != nil {
+						cancelCause(&fencedError{err: err})
+						return
+					}
+				}
+			}
+		}()
+	}
+
 	j.mu.Lock()
 	jw, resume := j.jw, j.resume
 	j.mu.Unlock()
+	if lease != nil && jw != nil {
+		// From here on the journal carries the fencing token: buffered
+		// appends check the lease locally, fsync-boundary appends and the
+		// checkpoint/result writes re-verify it on disk. The claim record
+		// goes first so replay orders every later event under this epoch.
+		jw.setFence(lease, func() { s.metrics.FencingRejects.Add(1) })
+		if err := jw.appendClaim(lease.Owner(), lease.Epoch(), lease.Deadline()); err != nil {
+			cancelCause(&journalFailure{err: err})
+		}
+		if lease.Epoch() > 1 {
+			// Taking over from a previous owner: its last checkpoint may be
+			// newer than the one this node replayed at startup. The re-read
+			// is what makes the resumed run byte-identical to the dead
+			// owner's continuation.
+			if cp, err := readCheckpoint(s.journal.jobDir(j.id)); err == nil && cp != nil {
+				j.mu.Lock()
+				j.resume, j.lastCP = cp, cp
+				j.mu.Unlock()
+				resume = cp
+			}
+		}
+	}
+	if !j.start(func() { cancelCause(context.Canceled) }, time.Now()) {
+		// Cancelled while queued.
+		s.store.unindexHash(j)
+		s.metrics.JobsCancelled.Add(1)
+		return
+	}
 	// Incremental resubmission: a job that names (or auto-discovers) a
 	// completed base and has no checkpoint of its own yet tries to seed
 	// from the base's. A crash-replayed incremental job already carries
@@ -461,6 +758,15 @@ func (s *Server) run(j *job) {
 		// disk: it is what incremental resubmissions seed from.
 		j.finish(StateDone, result, report, "", now, closed, d, alloc)
 		s.metrics.JobsDone.Add(1)
+	case isFenced(err) || isFenced(cause):
+		// This node lost the lease mid-run: a newer epoch owns the job.
+		// The local record fails for visibility, but the journal is left
+		// alone — the fence already refused this node's writes, and the
+		// new owner's run is the authoritative history.
+		j.finish(StateFailed, nil, nil,
+			"lease lost: job taken over by a newer claim; this node's run is void", now, closed, d, alloc)
+		s.store.unindexHash(j)
+		s.metrics.JobsFailed.Add(1)
 	case errors.As(err, &pe):
 		s.metrics.JobsPanicked.Add(1)
 		j.finish(StateFailed, nil, nil, pe.Error()+"\n"+pe.stack, now, closed, d, alloc)
@@ -641,15 +947,42 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// tenantPattern validates X-Tenant values: short, path- and header-safe.
+var tenantPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// DefaultTenant is the tenant jobs land under when X-Tenant is absent.
+const DefaultTenant = "default"
+
 // handleSubmit accepts a job: 202 on enqueue, 200 when deduplicated to an
-// existing job, 429 when the queue is full, 503 when shutting down.
+// existing job, 429 when the tenant is over its submit rate or the queue
+// is full (both with Retry-After), 503 when shutting down. The X-Tenant
+// header routes the job to its tenant's queue; absent means "default".
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if !tenantPattern.MatchString(tenant) {
+		writeError(w, http.StatusBadRequest, "invalid X-Tenant %q: want 1-64 chars of [A-Za-z0-9._-]", tenant)
+		return
+	}
+	if s.limiter != nil {
+		if ok, retry := s.limiter.Allow(tenant, time.Now()); !ok {
+			s.metrics.RateLimited.Add(1)
+			secs := int(math.Ceil(retry.Seconds()))
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests,
+				"tenant %q over submit rate (%.3g jobs/s); retry in %ds", tenant, s.cfg.TenantRate, secs)
+			return
+		}
+	}
 	var req Request
 	body := http.MaxBytesReader(w, r.Body, 128<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
+	req.Tenant = tenant
 	if len(req.Configs) == 0 {
 		writeError(w, http.StatusBadRequest, "request has no configs")
 		return
@@ -701,10 +1034,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	select {
-	case s.queue <- j:
-		s.metrics.QueueDepth.Add(1)
-	default:
+	if !s.enqueue(j, false) {
 		s.store.remove(j)
 		if s.journal != nil {
 			s.journal.discard(j.id)
@@ -723,8 +1053,66 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
+// defaultListLimit caps GET /v1/jobs pages when ?limit= is absent. A
+// long-lived daemon accumulates unbounded job history; the cap keeps one
+// list call from serializing all of it.
+const defaultListLimit = 200
+
+// maxListLimit bounds ?limit= explicitly asked for.
+const maxListLimit = 1000
+
+// handleList pages through job statuses, newest first. ?state= filters by
+// job state, ?limit= sizes the page (default 200, max 1000), ?after=<id>
+// resumes below that job ID. A truncated page carries next_after: pass it
+// back as ?after= for the next page.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.list()})
+	q := r.URL.Query()
+	limit := defaultListLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit=%q: want a positive integer", v)
+			return
+		}
+		limit = n
+		if limit > maxListLimit {
+			limit = maxListLimit
+		}
+	}
+	var stateFilter State
+	if v := q.Get("state"); v != "" {
+		stateFilter = State(v)
+		switch stateFilter {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateDraining, StateRequeued:
+		default:
+			writeError(w, http.StatusBadRequest, "bad state=%q", v)
+			return
+		}
+	}
+	after := q.Get("after")
+
+	all := s.store.list() // newest (largest ID) first
+	jobs := make([]Status, 0, limit)
+	nextAfter := ""
+	for _, st := range all {
+		if after != "" && st.ID >= after {
+			continue
+		}
+		if stateFilter != "" && st.State != stateFilter {
+			continue
+		}
+		if len(jobs) == limit {
+			// One more match exists beyond the page: report the cursor.
+			nextAfter = jobs[len(jobs)-1].ID
+			break
+		}
+		jobs = append(jobs, st)
+	}
+	resp := map[string]any{"jobs": jobs}
+	if nextAfter != "" {
+		resp["next_after"] = nextAfter
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -851,15 +1239,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "shutting_down"
 		code = http.StatusServiceUnavailable
 	}
+	// The pre-fleet fields keep their names and types; per-node identity
+	// rides alongside so `curl /healthz` tells fleet members apart.
 	writeJSON(w, code, map[string]any{
 		"status":         status,
 		"workers":        s.cfg.Workers,
 		"queue_capacity": s.cfg.QueueDepth,
 		"uptime_seconds": int64(time.Since(s.started).Seconds()),
 		"durable":        s.journal != nil,
+		"node_id":        s.cfg.NodeID,
+		"leases_held":    s.metrics.LeasesHeld.Value(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	snap := s.metrics.snapshot()
+	snap["node_id"] = s.cfg.NodeID
+	snap["tenant_queue_depth"] = s.sched.Depths()
+	writeJSON(w, http.StatusOK, snap)
 }
